@@ -1,0 +1,45 @@
+// E8: the cross-layer feedback loop (Sec. II-E).
+//
+// WCET results are fed back to the parallelization stage; the granularity
+// chosen blind (first candidate) vs the one chosen by feedback quantifies
+// the value of closing the loop.
+#include "common.h"
+
+int main() {
+  using namespace argo;
+  bench::printHeader(
+      "E8 — cross-layer feedback",
+      "system-level WCET fed back to parallelization solves the phase "
+      "ordering problem (Sec. II-E)");
+
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  for (bench::AppCase& app : bench::allApps()) {
+    const core::Toolchain toolchain(platform, core::ToolchainOptions{});
+    const core::ToolchainResult result = toolchain.run(app.diagram);
+    std::printf("--- %s ---\n", app.name.c_str());
+    std::printf("%7s %6s %14s\n", "chunks", "tasks", "parWCET");
+    adl::Cycles first = 0;
+    adl::Cycles worst = 0;
+    for (const core::FeedbackPoint& p : result.feedback) {
+      if (p.coreLimit == 0) {
+        if (first == 0) first = p.systemWcet;
+        worst = std::max(worst, p.systemWcet);
+      }
+      std::printf("%7d %6d %14s%s%s\n", p.chunksPerLoop, p.tasks,
+                  support::formatCycles(p.systemWcet).c_str(),
+                  p.coreLimit == 1 ? "  (1 core)" : "",
+                  p.systemWcet == result.system.makespan ? "  <== chosen"
+                                                         : "");
+    }
+    std::printf("no-feedback (first candidate): %s;  feedback gain over "
+                "first: %.1f%%;  over worst candidate: %.1f%%\n\n",
+                support::formatCycles(first).c_str(),
+                100.0 * (1.0 - static_cast<double>(result.system.makespan) /
+                                   static_cast<double>(first)),
+                100.0 * (1.0 - static_cast<double>(result.system.makespan) /
+                                   static_cast<double>(worst)));
+  }
+  std::printf("expected shape: the chosen candidate is never the first "
+              "tried; feedback recovers double-digit percentages.\n");
+  return 0;
+}

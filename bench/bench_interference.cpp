@@ -1,0 +1,65 @@
+// E3: knowing the parallel structure vs not.
+//
+// The paper's Sec. III-C argument (built on the parMERASA experience): a
+// WCET tool that cannot see the parallelization scheme must assume every
+// core interferes with every access ("all-contenders"); ARGO's co-designed
+// flow exposes the explicit parallel program, so the MHP analysis counts
+// only the tiles that can actually contend.
+//
+// Paired comparison at FIXED granularity on a 16-core platform (schedules
+// typically occupy fewer tiles than exist, which is precisely where the
+// refinement pays): {interference-aware, contention-oblivious} scheduling
+// x {mhp-refined, all-contenders} analysis.
+#include "common.h"
+
+#include "syswcet/system_wcet.h"
+
+int main() {
+  using namespace argo;
+  bench::printHeader(
+      "E3 — MHP-refined vs all-contenders interference accounting",
+      "contenders known & reduced during parallelization -> tighter bounds "
+      "than analyzing an opaque parallel program (Sec. II, III-C)");
+
+  const adl::Platform platform = adl::makeRecoreXentiumBus(16);
+  const int chunks = 8;  // fixed granularity: fair pairing
+
+  std::printf("(platform: 16-core RR bus, chunks/loop fixed at %d)\n\n",
+              chunks);
+  std::printf("%-8s %-22s %6s %16s %16s %7s\n", "app", "scheduler", "tiles",
+              "mhp-refined", "all-contenders", "gap");
+  for (bench::AppCase& app : bench::allApps()) {
+    for (const bool aware : {true, false}) {
+      core::ToolchainOptions options;
+      options.chunkCandidates = {chunks};
+      options.sched.policy =
+          aware ? sched::Policy::Heft : sched::Policy::ContentionOblivious;
+      options.sched.interferenceAware = aware;
+      const core::Toolchain toolchain(platform, options);
+      const core::ToolchainResult result = toolchain.run(app.diagram);
+      const syswcet::SystemWcet refined = syswcet::analyzeSystem(
+          result.program, platform, result.timings,
+          syswcet::InterferenceMethod::MhpRefined);
+      const syswcet::SystemWcet pessimistic = syswcet::analyzeSystem(
+          result.program, platform, result.timings,
+          syswcet::InterferenceMethod::AllContenders);
+      std::printf("%-8s %-22s %6d %16s %16s %6.1f%%\n", app.name.c_str(),
+                  aware ? "interference-aware" : "contention-oblivious",
+                  result.schedule.tilesUsed,
+                  support::formatCycles(refined.makespan).c_str(),
+                  support::formatCycles(pessimistic.makespan).c_str(),
+                  100.0 * (static_cast<double>(pessimistic.makespan) /
+                               static_cast<double>(refined.makespan) -
+                           1.0));
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape: all-contenders inflates the bound by the idle-tile\n"
+      "count (the gap column); the MHP-refined bound only charges tiles\n"
+      "that can actually run concurrently. The scheduler dimension is\n"
+      "secondary: once every task chunk contends, placement estimates\n"
+      "cannot reduce the contender count further (honest finding recorded\n"
+      "in EXPERIMENTS.md).\n");
+  return 0;
+}

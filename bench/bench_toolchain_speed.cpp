@@ -1,0 +1,94 @@
+// E10: tool-chain stage runtimes (productivity claim, Sec. III-A) —
+// google-benchmark timings of each pipeline stage on the POLKA use case.
+#include <benchmark/benchmark.h>
+
+#include "apps/polka.h"
+#include "core/toolchain.h"
+#include "htg/htg.h"
+#include "par/parallel_program.h"
+#include "sched/scheduler.h"
+#include "syswcet/system_wcet.h"
+#include "transform/const_fold.h"
+
+namespace {
+
+using namespace argo;
+
+const apps::PolkaConfig& config() {
+  static const apps::PolkaConfig cfg;
+  return cfg;
+}
+
+const model::CompiledModel& compiledPolka() {
+  static const model::CompiledModel model =
+      apps::buildPolkaDiagram(config()).compile();
+  return model;
+}
+
+void BM_ModelCompile(benchmark::State& state) {
+  const model::Diagram diagram = apps::buildPolkaDiagram(config());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(diagram.compile());
+  }
+}
+BENCHMARK(BM_ModelCompile);
+
+void BM_Transforms(benchmark::State& state) {
+  for (auto _ : state) {
+    auto fn = compiledPolka().fn->clone();
+    transform::ConstantFolding fold;
+    benchmark::DoNotOptimize(fold.run(*fn));
+  }
+}
+BENCHMARK(BM_Transforms);
+
+void BM_HtgExtraction(benchmark::State& state) {
+  const auto& model = compiledPolka();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(htg::buildHtg(*model.fn));
+  }
+}
+BENCHMARK(BM_HtgExtraction);
+
+void BM_ExpandAndSchedule(benchmark::State& state) {
+  const auto& model = compiledPolka();
+  const htg::Htg htg = htg::buildHtg(*model.fn);
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  const int chunks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const htg::TaskGraph graph = htg::expand(htg, htg::ExpandOptions{chunks});
+    sched::Scheduler scheduler(graph, platform);
+    benchmark::DoNotOptimize(scheduler.run(sched::SchedOptions{}));
+  }
+}
+BENCHMARK(BM_ExpandAndSchedule)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SystemWcet(benchmark::State& state) {
+  const auto& model = compiledPolka();
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  const htg::TaskGraph graph =
+      htg::expand(htg::buildHtg(*model.fn), htg::ExpandOptions{8});
+  sched::Scheduler scheduler(graph, platform);
+  const sched::Schedule schedule = scheduler.run(sched::SchedOptions{});
+  const par::ParallelProgram program =
+      par::buildParallelProgram(graph, schedule, platform);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        syswcet::analyzeSystem(program, platform, scheduler.timings()));
+  }
+}
+BENCHMARK(BM_SystemWcet);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  const model::Diagram diagram = apps::buildPolkaDiagram(config());
+  const core::Toolchain toolchain(platform, core::ToolchainOptions{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(toolchain.run(diagram));
+  }
+}
+BENCHMARK(BM_FullPipeline);
+
+}  // namespace
+
+BENCHMARK_MAIN();

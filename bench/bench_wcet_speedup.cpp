@@ -1,0 +1,39 @@
+// E2: guaranteed (WCET) speedup vs core count, per use case, on the
+// Recore-style bus platform and the KIT-style NoC platform.
+#include "common.h"
+
+int main() {
+  using namespace argo;
+  bench::printHeader(
+      "E2 — WCET speedup vs cores",
+      "parallelization improves the *guaranteed* WCET; gains grow with "
+      "cores until shared-resource contention saturates (Sec. I/II)");
+
+  std::printf("%-8s %-18s %5s %6s %14s %14s %8s\n", "app", "platform",
+              "cores", "tasks", "seqWCET", "parWCET", "speedup");
+  for (bench::AppCase& app : bench::allApps()) {
+    for (int cores : {1, 2, 4, 8, 16}) {
+      const adl::Platform platform = adl::makeRecoreXentiumBus(cores);
+      const core::Toolchain toolchain(platform, core::ToolchainOptions{});
+      const core::ToolchainResult result = toolchain.run(app.diagram);
+      std::printf("%-8s %-18s %5d %6zu %14s %14s %7.2fx\n", app.name.c_str(),
+                  "xentium_bus", cores, result.graph->tasks.size(),
+                  support::formatCycles(result.sequentialWcet).c_str(),
+                  support::formatCycles(result.system.makespan).c_str(),
+                  result.wcetSpeedup());
+    }
+    for (std::pair<int, int> mesh : {std::pair{1, 2}, {2, 2}, {2, 4}, {4, 4}}) {
+      const adl::Platform platform =
+          adl::makeKitLeon3Inoc(mesh.first, mesh.second);
+      const core::Toolchain toolchain(platform, core::ToolchainOptions{});
+      const core::ToolchainResult result = toolchain.run(app.diagram);
+      std::printf("%-8s %-18s %5d %6zu %14s %14s %7.2fx\n", app.name.c_str(),
+                  "leon3_inoc", platform.coreCount(),
+                  result.graph->tasks.size(),
+                  support::formatCycles(result.sequentialWcet).c_str(),
+                  support::formatCycles(result.system.makespan).c_str(),
+                  result.wcetSpeedup());
+    }
+  }
+  return 0;
+}

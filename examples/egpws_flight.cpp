@@ -1,0 +1,68 @@
+// EGPWS use case (aerospace): compile the terrain-warning model, obtain a
+// parallel implementation with a guaranteed WCET on the Recore-style
+// platform, then fly a descending approach through the synthetic terrain
+// and watch alerts fire — every step simulated on the multi-core timing
+// model and checked against the static bound.
+#include <cmath>
+#include <cstdio>
+
+#include "apps/egpws.h"
+#include "core/toolchain.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace argo;
+
+  const apps::EgpwsConfig config;
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  const core::Toolchain toolchain(platform, core::ToolchainOptions{});
+  const core::ToolchainResult result =
+      toolchain.run(apps::buildEgpwsDiagram(config));
+
+  std::printf("EGPWS on %s: WCET bound %lld cycles (guaranteed speedup "
+              "%.2fx over 1 core)\n\n",
+              platform.name().c_str(),
+              static_cast<long long>(result.system.makespan),
+              result.wcetSpeedup());
+
+  sim::Simulator simulator(result.program, platform);
+  ir::Environment env = ir::makeZeroEnvironment(*result.fn);
+  for (const auto& [name, value] : result.constants) env[name] = value;
+
+  // A descending approach across the ridge.
+  apps::EgpwsInputs state;
+  state.x = 4.0;
+  state.y = 4.0;
+  state.altitude = 1400.0;
+  state.groundSpeed = 140.0;
+  state.verticalSpeed = -14.0;
+  state.heading = 0.8;
+
+  std::printf("%5s %8s %8s %9s %12s %7s %10s %7s\n", "step", "x", "y", "alt",
+              "clearance", "alert", "cycles", "bound?");
+  bool allSafe = true;
+  for (int step = 0; step < 12; ++step) {
+    apps::setEgpwsInputs(env, state);
+    const sim::StepResult observed = simulator.step(env);
+    const double clearance = env.at("min_clearance_out").getFloat();
+    const double alert = env.at("alert_out").getFloat();
+    const bool safe = observed.makespan <= result.system.makespan;
+    allSafe = allSafe && safe;
+    std::printf("%5d %8.2f %8.2f %9.1f %12.1f %7s %10lld %7s\n", step,
+                state.x, state.y, state.altitude, clearance,
+                alert >= 2.0   ? "PULL-UP"
+                : alert >= 1.0 ? "caution"
+                               : "-",
+                static_cast<long long>(observed.makespan),
+                safe ? "ok" : "VIOLATED");
+    // Advance the aircraft one second; the crew levels off on a warning.
+    const double cellPerSec = state.groundSpeed / config.cellSize;
+    state.x += cellPerSec * std::cos(state.heading);
+    state.y += cellPerSec * std::sin(state.heading);
+    state.altitude += state.verticalSpeed;
+    if (alert >= 2.0) state.verticalSpeed = 8.0;  // climb!
+  }
+  std::printf("\nall steps within the static WCET bound: %s\n",
+              allSafe ? "yes" : "NO");
+  return allSafe ? 0 : 1;
+}

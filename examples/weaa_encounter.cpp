@@ -1,0 +1,59 @@
+// WEAA use case (aerospace): wake-vortex conflict detection and evasion
+// advisory. Sweeps a line of approach geometries, prints the advisory the
+// parallel implementation computes, and reports the guaranteed reaction
+// time (the WCET bound) that certification would build on.
+#include <cstdio>
+
+#include "apps/weaa.h"
+#include "core/toolchain.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace argo;
+
+  const apps::WeaaConfig config;
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  const core::Toolchain toolchain(platform, core::ToolchainOptions{});
+  const core::ToolchainResult result =
+      toolchain.run(apps::buildWeaaDiagram(config));
+
+  std::printf("WEAA advisory on %s\n", platform.name().c_str());
+  std::printf("  guaranteed advisory latency: %lld cycles "
+              "(%.2fx faster than single core, proven)\n\n",
+              static_cast<long long>(result.system.makespan),
+              result.wcetSpeedup());
+
+  sim::Simulator simulator(result.program, platform);
+  ir::Environment env = ir::makeZeroEnvironment(*result.fn);
+  for (const auto& [name, value] : result.constants) env[name] = value;
+
+  std::printf("%10s %10s %10s %9s %12s %12s\n", "lateral(m)", "maxSev",
+              "conflict", "bestSev", "advisory", "cycles");
+  for (double lateral = -80.0; lateral <= 80.0; lateral += 20.0) {
+    apps::WeaaInputs inputs;
+    inputs.oy = lateral;
+    apps::setWeaaInputs(env, inputs);
+    const sim::StepResult observed = simulator.step(env);
+    const double conflict = env.at("conflict_out").getFloat();
+    // Recover the advised offset: the candidate whose score equals best.
+    double advised = 0.0;
+    const double best = env.at("best_score_out").getFloat();
+    for (int m = 1; m <= config.candidates; ++m) {
+      if (env.at("scores_out").getFloat(m - 1) == best) {
+        advised = apps::weaaCandidateOffset(m, config);
+        break;
+      }
+    }
+    std::printf("%10.0f %10.3f %10s %9.3f %11.0fm %12lld\n", lateral,
+                env.at("max_severity_out").getFloat(),
+                conflict > 0.0 ? "CONFLICT" : "clear", best,
+                conflict > 0.0 ? advised : 0.0,
+                static_cast<long long>(observed.makespan));
+    if (observed.makespan > result.system.makespan) {
+      std::printf("  !! bound violated\n");
+      return 1;
+    }
+  }
+  std::printf("\nevery advisory computed within the static bound.\n");
+  return 0;
+}

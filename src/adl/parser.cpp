@@ -1,0 +1,237 @@
+#include "adl/parser.h"
+
+#include <map>
+#include <optional>
+#include <sstream>
+
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace argo::adl {
+
+using support::ToolchainError;
+
+namespace {
+
+struct Line {
+  int number = 0;
+  std::vector<std::string> tokens;
+};
+
+std::vector<Line> tokenize(std::string_view text) {
+  std::vector<Line> lines;
+  int number = 0;
+  for (const std::string& raw : support::split(text, '\n')) {
+    ++number;
+    std::string_view view = raw;
+    if (const std::size_t hash = view.find('#'); hash != std::string_view::npos) {
+      view = view.substr(0, hash);
+    }
+    view = support::trim(view);
+    if (view.empty()) continue;
+    Line line;
+    line.number = number;
+    std::istringstream is{std::string(view)};
+    std::string token;
+    while (is >> token) line.tokens.push_back(token);
+    lines.push_back(std::move(line));
+  }
+  return lines;
+}
+
+[[noreturn]] void fail(const Line& line, const std::string& message) {
+  throw ToolchainError("ADL line " + std::to_string(line.number) + ": " +
+                       message);
+}
+
+std::int64_t parseInt(const Line& line, const std::string& token) {
+  try {
+    std::size_t pos = 0;
+    const std::int64_t value = std::stoll(token, &pos);
+    if (pos != token.size()) fail(line, "trailing characters in '" + token + "'");
+    return value;
+  } catch (const std::logic_error&) {
+    fail(line, "expected integer, got '" + token + "'");
+  }
+}
+
+/// Reads "key value key value ..." pairs starting at tokens[first].
+std::map<std::string, std::int64_t> parsePairs(const Line& line,
+                                               std::size_t first) {
+  std::map<std::string, std::int64_t> pairs;
+  if ((line.tokens.size() - first) % 2 != 0) {
+    fail(line, "expected key/value pairs");
+  }
+  for (std::size_t i = first; i + 1 < line.tokens.size(); i += 2) {
+    pairs[line.tokens[i]] = parseInt(line, line.tokens[i + 1]);
+  }
+  return pairs;
+}
+
+std::int64_t require(const Line& line,
+                     const std::map<std::string, std::int64_t>& pairs,
+                     const std::string& key) {
+  auto it = pairs.find(key);
+  if (it == pairs.end()) fail(line, "missing key '" + key + "'");
+  return it->second;
+}
+
+CoreModel parseCore(const Line& line) {
+  if (line.tokens.size() < 2) fail(line, "core needs a name");
+  CoreModel core;
+  core.name = line.tokens[1];
+  const auto pairs = parsePairs(line, 2);
+  static constexpr const char* kOpKeys[ir::kOpClassCount] = {
+      "int_alu",   "int_mul",   "int_div", "float_add", "float_mul",
+      "float_div", "math_func", "compare", "select",    "branch",
+      "loop_step"};
+  for (int i = 0; i < ir::kOpClassCount; ++i) {
+    core.opCycles[static_cast<std::size_t>(i)] =
+        static_cast<int>(require(line, pairs, kOpKeys[i]));
+  }
+  core.localAccessCycles = static_cast<int>(require(line, pairs, "local_access"));
+  core.spmAccessCycles = static_cast<int>(require(line, pairs, "spm_access"));
+  core.spmBytes = require(line, pairs, "spm_bytes");
+  return core;
+}
+
+}  // namespace
+
+Platform parseAdl(std::string_view text) {
+  const std::vector<Line> lines = tokenize(text);
+  std::string platformName;
+  std::int64_t sharedMemBytes = -1;
+  std::optional<BusModel> bus;
+  std::optional<NocModel> noc;
+  std::map<std::string, CoreModel> cores;
+  std::vector<std::pair<int, std::string>> tileSpecs;
+
+  for (const Line& line : lines) {
+    const std::string& head = line.tokens.front();
+    if (head == "platform") {
+      if (line.tokens.size() != 2) fail(line, "platform needs a name");
+      platformName = line.tokens[1];
+    } else if (head == "shared_memory") {
+      if (line.tokens.size() != 2) fail(line, "shared_memory needs byte size");
+      sharedMemBytes = parseInt(line, line.tokens[1]);
+    } else if (head == "interconnect") {
+      if (line.tokens.size() < 2) fail(line, "interconnect needs a kind");
+      const std::string& kind = line.tokens[1];
+      if (kind == "bus") {
+        if (line.tokens.size() < 3) fail(line, "bus needs an arbitration");
+        BusModel model;
+        if (line.tokens[2] == "round_robin") {
+          model.arbitration = Arbitration::RoundRobin;
+        } else if (line.tokens[2] == "tdma") {
+          model.arbitration = Arbitration::Tdma;
+        } else {
+          fail(line, "unknown arbitration '" + line.tokens[2] + "'");
+        }
+        const auto pairs = parsePairs(line, 3);
+        model.baseAccessCycles =
+            static_cast<int>(require(line, pairs, "base_access"));
+        model.slotCycles = static_cast<int>(require(line, pairs, "slot"));
+        model.wordBytes = static_cast<int>(require(line, pairs, "word_bytes"));
+        bus = model;
+      } else if (kind == "noc") {
+        if (line.tokens.size() < 4) fail(line, "noc needs mesh dimensions");
+        NocModel model;
+        model.meshWidth = static_cast<int>(parseInt(line, line.tokens[2]));
+        model.meshHeight = static_cast<int>(parseInt(line, line.tokens[3]));
+        const auto pairs = parsePairs(line, 4);
+        model.routerCycles = static_cast<int>(require(line, pairs, "router"));
+        model.linkCycles = static_cast<int>(require(line, pairs, "link"));
+        model.flitBytes = static_cast<int>(require(line, pairs, "flit_bytes"));
+        model.memAccessCycles =
+            static_cast<int>(require(line, pairs, "mem_access"));
+        model.memTile = static_cast<int>(require(line, pairs, "mem_tile"));
+        noc = model;
+      } else {
+        fail(line, "unknown interconnect kind '" + kind + "'");
+      }
+    } else if (head == "core") {
+      CoreModel core = parseCore(line);
+      cores[core.name] = core;
+    } else if (head == "tile") {
+      if (line.tokens.size() != 3) fail(line, "tile needs index and core name");
+      tileSpecs.emplace_back(static_cast<int>(parseInt(line, line.tokens[1])),
+                             line.tokens[2]);
+    } else {
+      fail(line, "unknown directive '" + head + "'");
+    }
+  }
+
+  if (platformName.empty()) throw ToolchainError("ADL: missing 'platform'");
+  if (sharedMemBytes < 0) throw ToolchainError("ADL: missing 'shared_memory'");
+  if (!bus.has_value() && !noc.has_value()) {
+    throw ToolchainError("ADL: missing 'interconnect'");
+  }
+  if (tileSpecs.empty()) throw ToolchainError("ADL: no tiles declared");
+
+  std::vector<Tile> tiles;
+  tiles.resize(tileSpecs.size());
+  std::vector<bool> seen(tileSpecs.size(), false);
+  for (const auto& [index, coreName] : tileSpecs) {
+    if (index < 0 || index >= static_cast<int>(tiles.size())) {
+      throw ToolchainError("ADL: tile index " + std::to_string(index) +
+                           " out of range (tiles must be 0..n-1)");
+    }
+    if (seen[static_cast<std::size_t>(index)]) {
+      throw ToolchainError("ADL: duplicate tile " + std::to_string(index));
+    }
+    seen[static_cast<std::size_t>(index)] = true;
+    auto it = cores.find(coreName);
+    if (it == cores.end()) {
+      throw ToolchainError("ADL: tile " + std::to_string(index) +
+                           " references unknown core '" + coreName + "'");
+    }
+    tiles[static_cast<std::size_t>(index)] = Tile{index, it->second};
+  }
+
+  if (bus.has_value()) {
+    return Platform(platformName, std::move(tiles), *bus, sharedMemBytes);
+  }
+  return Platform(platformName, std::move(tiles), *noc, sharedMemBytes);
+}
+
+std::string toAdlText(const Platform& platform) {
+  std::ostringstream os;
+  os << "platform " << platform.name() << '\n';
+  os << "shared_memory " << platform.sharedMemBytes() << '\n';
+  if (platform.isBus()) {
+    const BusModel& bus = platform.bus();
+    os << "interconnect bus " << arbitrationName(bus.arbitration)
+       << " base_access " << bus.baseAccessCycles << " slot " << bus.slotCycles
+       << " word_bytes " << bus.wordBytes << '\n';
+  } else {
+    const NocModel& noc = platform.noc();
+    os << "interconnect noc " << noc.meshWidth << ' ' << noc.meshHeight
+       << " router " << noc.routerCycles << " link " << noc.linkCycles
+       << " flit_bytes " << noc.flitBytes << " mem_access "
+       << noc.memAccessCycles << " mem_tile " << noc.memTile << '\n';
+  }
+  // Emit each distinct core model once.
+  std::map<std::string, const CoreModel*> cores;
+  for (const Tile& tile : platform.tiles()) {
+    cores.emplace(tile.core.name, &tile.core);
+  }
+  static constexpr const char* kOpKeys[ir::kOpClassCount] = {
+      "int_alu",   "int_mul",   "int_div", "float_add", "float_mul",
+      "float_div", "math_func", "compare", "select",    "branch",
+      "loop_step"};
+  for (const auto& [name, core] : cores) {
+    os << "core " << name;
+    for (int i = 0; i < ir::kOpClassCount; ++i) {
+      os << ' ' << kOpKeys[i] << ' '
+         << core->opCycles[static_cast<std::size_t>(i)];
+    }
+    os << " local_access " << core->localAccessCycles << " spm_access "
+       << core->spmAccessCycles << " spm_bytes " << core->spmBytes << '\n';
+  }
+  for (const Tile& tile : platform.tiles()) {
+    os << "tile " << tile.index << ' ' << tile.core.name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace argo::adl

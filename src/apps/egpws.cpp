@@ -1,0 +1,191 @@
+#include "apps/egpws.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "model/blocks.h"
+#include "model/scilab.h"
+#include "support/rng.h"
+
+namespace argo::apps {
+
+const std::vector<double>& egpwsFirTaps() {
+  static const std::vector<double> taps = {0.5, 0.3, 0.2};
+  return taps;
+}
+
+std::vector<double> makeTerrain(const EgpwsConfig& config) {
+  // Smooth rolling hills plus a ridge: sum of sinusoids with a
+  // deterministic per-cell perturbation (reproducible across model and
+  // reference).
+  support::Rng rng(config.terrainSeed);
+  std::vector<double> terrain(
+      static_cast<std::size_t>(config.gridH * config.gridW));
+  for (int r = 0; r < config.gridH; ++r) {
+    for (int c = 0; c < config.gridW; ++c) {
+      const double fr = static_cast<double>(r) / config.gridH;
+      const double fc = static_cast<double>(c) / config.gridW;
+      double elevation = 300.0 + 250.0 * std::sin(3.1 * fr) *
+                                     std::cos(2.3 * fc + 0.7) +
+                         180.0 * std::sin(7.9 * fc);
+      // Ridge running diagonally.
+      const double ridge = 1.0 - std::abs(fr - fc);
+      elevation += 320.0 * std::max(0.0, ridge - 0.8) * 5.0;
+      elevation += 40.0 * rng.uniformDouble();
+      terrain[static_cast<std::size_t>(r * config.gridW + c)] =
+          std::max(0.0, elevation);
+    }
+  }
+  return terrain;
+}
+
+namespace {
+
+std::string lookaheadScript(const EgpwsConfig& config) {
+  std::ostringstream os;
+  const int h = config.gridH;
+  const int w = config.gridW;
+  os << "local t; local px; local py; local palt\n"
+     << "local ix; local iy; local fx; local fy\n"
+     << "local e00; local e01; local e10; local e11; local elev\n"
+     << "for i = 1:" << config.samples << "\n"
+     << "  t = float(i) * " << config.dt << "\n"
+     << "  px = x + gs * t * cos(heading) / " << config.cellSize << "\n"
+     << "  py = y + gs * t * sin(heading) / " << config.cellSize << "\n"
+     << "  palt = alt + vs * t\n"
+     << "  px = min(max(px, 1.0), " << w - 1 << ".0 - 0.001)\n"
+     << "  py = min(max(py, 1.0), " << h - 1 << ".0 - 0.001)\n"
+     << "  ix = int(floor(px))\n"
+     << "  iy = int(floor(py))\n"
+     << "  fx = px - float(ix)\n"
+     << "  fy = py - float(iy)\n"
+     << "  e00 = terrain(iy, ix)\n"
+     << "  e01 = terrain(iy, ix + 1)\n"
+     << "  e10 = terrain(iy + 1, ix)\n"
+     << "  e11 = terrain(iy + 1, ix + 1)\n"
+     << "  elev = e00*(1.0-fx)*(1.0-fy) + e01*fx*(1.0-fy)"
+     << " + e10*(1.0-fx)*fy + e11*fx*fy\n"
+     << "  clr(i) = palt - elev\n"
+     << "end\n";
+  return os.str();
+}
+
+constexpr const char* kAlertScript =
+    "alert = 0.0\n"
+    "if minclr < 500.0 then alert = 1.0 end\n"
+    "if minclr < 200.0 then alert = 2.0 end\n";
+
+}  // namespace
+
+model::Diagram buildEgpwsDiagram(const EgpwsConfig& config) {
+  using namespace model;
+  namespace sl = model::scilab;
+  const ir::Type scalar = ir::Type::float64();
+  const ir::Type terrainType =
+      ir::Type::array(ir::ScalarKind::Float64, {config.gridH, config.gridW});
+  const ir::Type clrType =
+      ir::Type::array(ir::ScalarKind::Float64, {config.samples});
+
+  Diagram diagram("egpws");
+  const BlockId x = diagram.add<InputBlock>("x", scalar);
+  const BlockId y = diagram.add<InputBlock>("y", scalar);
+  const BlockId alt = diagram.add<InputBlock>("alt", scalar);
+  const BlockId gs = diagram.add<InputBlock>("gs", scalar);
+  const BlockId vs = diagram.add<InputBlock>("vs", scalar);
+  const BlockId heading = diagram.add<InputBlock>("heading", scalar);
+  const BlockId terrain =
+      diagram.add<ConstBlock>("terrain", terrainType, makeTerrain(config));
+
+  // Sensor conditioning: saturate ground speed, FIR-smooth vertical speed.
+  const BlockId gsSat = diagram.add<SaturateBlock>("gs_sat", 0.0, 350.0);
+  diagram.connect(gs, gsSat);
+  const BlockId vsFir = diagram.add<FirBlock>("vs_fir", egpwsFirTaps());
+  diagram.connect(vs, vsFir);
+
+  // Look-ahead clearance sampling (the parallel workhorse).
+  const BlockId lookahead = diagram.add<ScilabBlock>(
+      "lookahead", lookaheadScript(config),
+      std::vector<sl::PortSpec>{{"terrain", terrainType},
+                                {"x", scalar},
+                                {"y", scalar},
+                                {"alt", scalar},
+                                {"gs", scalar},
+                                {"vs", scalar},
+                                {"heading", scalar}},
+      std::vector<sl::PortSpec>{{"clr", clrType}});
+  diagram.connect(terrain, 0, lookahead, 0);
+  diagram.connect(x, 0, lookahead, 1);
+  diagram.connect(y, 0, lookahead, 2);
+  diagram.connect(alt, 0, lookahead, 3);
+  diagram.connect(gsSat, 0, lookahead, 4);
+  diagram.connect(vsFir, 0, lookahead, 5);
+  diagram.connect(heading, 0, lookahead, 6);
+
+  const BlockId minClr =
+      diagram.add<ReduceBlock>("min_clearance", ReduceBlock::Op::Min);
+  diagram.connect(lookahead, 0, minClr, 0);
+
+  const BlockId alert = diagram.add<ScilabBlock>(
+      "alert_logic", kAlertScript,
+      std::vector<sl::PortSpec>{{"minclr", scalar}},
+      std::vector<sl::PortSpec>{{"alert", scalar}});
+  diagram.connect(minClr, 0, alert, 0);
+
+  const BlockId outClr = diagram.add<OutputBlock>("min_clearance_out");
+  diagram.connect(minClr, 0, outClr, 0);
+  const BlockId outAlert = diagram.add<OutputBlock>("alert_out");
+  diagram.connect(alert, 0, outAlert, 0);
+  return diagram;
+}
+
+EgpwsOutputs egpwsReference(const EgpwsConfig& config,
+                            const std::vector<double>& terrain,
+                            const EgpwsInputs& inputs) {
+  const int h = config.gridH;
+  const int w = config.gridW;
+  auto at = [&](int r, int c) {
+    return terrain[static_cast<std::size_t>(r * w + c)];
+  };
+  const double gs = std::clamp(inputs.groundSpeed, 0.0, 350.0);
+  // Zero-initialized FIR state: first step output is taps[0] * input.
+  const double vs = egpwsFirTaps()[0] * inputs.verticalSpeed;
+
+  double minClearance = 1e300;
+  for (int i = 1; i <= config.samples; ++i) {
+    const double t = static_cast<double>(i) * config.dt;
+    double px = inputs.x + gs * t * std::cos(inputs.heading) / config.cellSize;
+    double py = inputs.y + gs * t * std::sin(inputs.heading) / config.cellSize;
+    const double palt = inputs.altitude + vs * t;
+    px = std::min(std::max(px, 1.0), static_cast<double>(w - 1) - 0.001);
+    py = std::min(std::max(py, 1.0), static_cast<double>(h - 1) - 0.001);
+    const int ix = static_cast<int>(std::floor(px));
+    const int iy = static_cast<int>(std::floor(py));
+    const double fx = px - ix;
+    const double fy = py - iy;
+    // 1-based Scilab indices -> 0-based C++.
+    const double e00 = at(iy - 1, ix - 1);
+    const double e01 = at(iy - 1, ix);
+    const double e10 = at(iy, ix - 1);
+    const double e11 = at(iy, ix);
+    const double elev = e00 * (1 - fx) * (1 - fy) + e01 * fx * (1 - fy) +
+                        e10 * (1 - fx) * fy + e11 * fx * fy;
+    minClearance = std::min(minClearance, palt - elev);
+  }
+
+  EgpwsOutputs out;
+  out.minClearance = minClearance;
+  out.alert = minClearance < 200.0 ? 2.0 : (minClearance < 500.0 ? 1.0 : 0.0);
+  return out;
+}
+
+void setEgpwsInputs(ir::Environment& env, const EgpwsInputs& inputs) {
+  env["x"] = ir::Value::scalarFloat(inputs.x);
+  env["y"] = ir::Value::scalarFloat(inputs.y);
+  env["alt"] = ir::Value::scalarFloat(inputs.altitude);
+  env["gs"] = ir::Value::scalarFloat(inputs.groundSpeed);
+  env["vs"] = ir::Value::scalarFloat(inputs.verticalSpeed);
+  env["heading"] = ir::Value::scalarFloat(inputs.heading);
+}
+
+}  // namespace argo::apps

@@ -1,0 +1,67 @@
+// EGPWS — Enhanced Ground Proximity Warning System (aerospace use case).
+//
+// Paper Section IV-A: "EGPWS provides alerts and warnings for obstacle and
+// terrain along the flight path. EGPWS combines high resolution terrain
+// databases, GPS and other sensors to provide feedback to pilots."
+//
+// Model: a synthetic terrain database (Const grid), aircraft state inputs,
+// and a look-ahead predictor that samples the predicted flight path at
+// `samples` points, bilinearly interpolating terrain elevation and
+// computing per-sample clearance (a parallelizable loop), followed by a
+// minimum reduction and alert classification. Vertical speed is smoothed
+// by a small FIR, ground speed saturated to the sensor range.
+//
+// The hand-written reference implementation (egpwsReference) is the golden
+// model the compiled diagram is tested against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/diagram.h"
+
+namespace argo::apps {
+
+struct EgpwsConfig {
+  int gridH = 32;       ///< Terrain rows.
+  int gridW = 32;       ///< Terrain columns.
+  int samples = 32;     ///< Look-ahead samples along the flight path.
+  double dt = 0.5;      ///< Seconds between samples.
+  double cellSize = 100.0;  ///< Terrain cell edge length (m).
+  std::uint64_t terrainSeed = 42;
+};
+
+/// Aircraft state for one step (grid coordinates are 1-based, matching the
+/// Scilab convention used in the model).
+struct EgpwsInputs {
+  double x = 8.0;        ///< Grid column position.
+  double y = 8.0;        ///< Grid row position.
+  double altitude = 900.0;   ///< m
+  double groundSpeed = 120.0;  ///< m/s
+  double verticalSpeed = -5.0; ///< m/s
+  double heading = 0.6;  ///< rad
+};
+
+struct EgpwsOutputs {
+  double minClearance = 0.0;  ///< m above terrain, worst sample.
+  double alert = 0.0;         ///< 0 none, 1 caution, 2 warning.
+};
+
+/// Deterministic synthetic terrain (row-major gridH x gridW elevations, m).
+[[nodiscard]] std::vector<double> makeTerrain(const EgpwsConfig& config);
+
+/// Builds the EGPWS dataflow diagram.
+[[nodiscard]] model::Diagram buildEgpwsDiagram(const EgpwsConfig& config);
+
+/// Golden single-step reference (zero-initialized filter state).
+[[nodiscard]] EgpwsOutputs egpwsReference(const EgpwsConfig& config,
+                                          const std::vector<double>& terrain,
+                                          const EgpwsInputs& inputs);
+
+/// Writes the aircraft state into a compiled-model environment.
+void setEgpwsInputs(ir::Environment& env, const EgpwsInputs& inputs);
+
+/// Smoothing filter taps shared by model and reference.
+[[nodiscard]] const std::vector<double>& egpwsFirTaps();
+
+}  // namespace argo::apps

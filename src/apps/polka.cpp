@@ -1,0 +1,219 @@
+#include "apps/polka.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "model/blocks.h"
+#include "model/scilab.h"
+#include "support/rng.h"
+
+namespace argo::apps {
+
+const std::vector<double>& polkaKernel() {
+  static const std::vector<double> kernel = {
+      1.0 / 16, 2.0 / 16, 1.0 / 16,
+      2.0 / 16, 4.0 / 16, 2.0 / 16,
+      1.0 / 16, 2.0 / 16, 1.0 / 16};
+  return kernel;
+}
+
+std::vector<double> makePolkaFrame(const PolkaConfig& config,
+                                   std::uint64_t seed) {
+  support::Rng rng(seed);
+  const int h = config.mosaicH;
+  const int w = config.mosaicW;
+  std::vector<double> frame(static_cast<std::size_t>(h * w));
+  // Stressed ellipse parameters (in plane coordinates).
+  const double cy = config.planeH() * 0.55;
+  const double cx = config.planeW() * 0.45;
+  const double ry = config.planeH() * 0.22;
+  const double rx = config.planeW() * 0.30;
+  for (int r = 0; r < h; ++r) {
+    for (int c = 0; c < w; ++c) {
+      const double py = r / 2;
+      const double px = c / 2;
+      const double dy = (py - cy) / ry;
+      const double dx = (px - cx) / rx;
+      const bool stressed = dy * dy + dx * dx < 1.0;
+      const double intensity = 0.55 + 0.05 * rng.uniformDouble();
+      // Polarization state: background nearly unpolarized, stressed glass
+      // strongly polarized at 30 degrees.
+      const double dolp = stressed ? 0.6 : 0.05;
+      const double angle = stressed ? 0.5236 : 0.1;
+      // Malus: I(theta) = I/2 * (1 + dolp * cos(2*(theta - angle))).
+      const double theta[2][2] = {{0.0, 0.7853981633974483},
+                                  {2.356194490192345, 1.5707963267948966}};
+      const double t = theta[r % 2][c % 2];
+      frame[static_cast<std::size_t>(r * w + c)] =
+          intensity * 0.5 * (1.0 + dolp * std::cos(2.0 * (t - angle)));
+    }
+  }
+  return frame;
+}
+
+namespace {
+
+std::string demosaicScript(const PolkaConfig& config) {
+  std::ostringstream os;
+  os << "for r = 1:" << config.planeH() << "\n"
+     << "  for c = 1:" << config.planeW() << "\n"
+     << "    i0(r,c) = img(2*r-1, 2*c-1)\n"
+     << "    i45(r,c) = img(2*r-1, 2*c)\n"
+     << "    i135(r,c) = img(2*r, 2*c-1)\n"
+     << "    i90(r,c) = img(2*r, 2*c)\n"
+     << "  end\n"
+     << "end\n";
+  return os.str();
+}
+
+std::string stokesScript(const PolkaConfig& config) {
+  // Expression form keeps the outer loop free of cross-iteration scalars,
+  // so the task extractor can chunk it.
+  std::ostringstream os;
+  os << "for r = 1:" << config.planeH() << "\n"
+     << "  for c = 1:" << config.planeW() << "\n"
+     << "    dolp(r,c) = sqrt((i0(r,c) - i90(r,c))*(i0(r,c) - i90(r,c))"
+     << " + (i45(r,c) - i135(r,c))*(i45(r,c) - i135(r,c)))"
+     << " / max((i0(r,c) + i45(r,c) + i90(r,c) + i135(r,c)) / 2.0, 0.001)\n"
+     << "  end\n"
+     << "end\n";
+  return os.str();
+}
+
+std::string thresholdScript(const PolkaConfig& config) {
+  std::ostringstream os;
+  os << "for r = 1:" << config.planeH() << "\n"
+     << "  for c = 1:" << config.planeW() << "\n"
+     << "    if smooth(r,c) > " << config.dolpThreshold << " then\n"
+     << "      bin(r,c) = 1.0\n"
+     << "    else\n"
+     << "      bin(r,c) = 0.0\n"
+     << "    end\n"
+     << "  end\n"
+     << "end\n";
+  return os.str();
+}
+
+}  // namespace
+
+model::Diagram buildPolkaDiagram(const PolkaConfig& config) {
+  using namespace model;
+  namespace sl = model::scilab;
+  const ir::Type mosaicType = ir::Type::array(
+      ir::ScalarKind::Float64, {config.mosaicH, config.mosaicW});
+  const ir::Type planeType = ir::Type::array(
+      ir::ScalarKind::Float64, {config.planeH(), config.planeW()});
+
+  Diagram diagram("polka");
+  const BlockId img = diagram.add<InputBlock>("img", mosaicType);
+
+  const BlockId demosaic = diagram.add<ScilabBlock>(
+      "demosaic", demosaicScript(config),
+      std::vector<sl::PortSpec>{{"img", mosaicType}},
+      std::vector<sl::PortSpec>{{"i0", planeType},
+                                {"i45", planeType},
+                                {"i135", planeType},
+                                {"i90", planeType}});
+  diagram.connect(img, 0, demosaic, 0);
+
+  const BlockId stokes = diagram.add<ScilabBlock>(
+      "stokes", stokesScript(config),
+      std::vector<sl::PortSpec>{{"i0", planeType},
+                                {"i45", planeType},
+                                {"i135", planeType},
+                                {"i90", planeType}},
+      std::vector<sl::PortSpec>{{"dolp", planeType}});
+  diagram.connect(demosaic, 0, stokes, 0);
+  diagram.connect(demosaic, 1, stokes, 1);
+  diagram.connect(demosaic, 2, stokes, 2);
+  diagram.connect(demosaic, 3, stokes, 3);
+
+  const BlockId smooth =
+      diagram.add<Conv2dBlock>("smooth", 3, 3, polkaKernel());
+  diagram.connect(stokes, 0, smooth, 0);
+
+  const BlockId threshold = diagram.add<ScilabBlock>(
+      "threshold", thresholdScript(config),
+      std::vector<sl::PortSpec>{{"smooth", planeType}},
+      std::vector<sl::PortSpec>{{"bin", planeType}});
+  diagram.connect(smooth, 0, threshold, 0);
+
+  const BlockId defectCount =
+      diagram.add<ReduceBlock>("defect_count", ReduceBlock::Op::Sum);
+  diagram.connect(threshold, 0, defectCount, 0);
+  const BlockId maxDolp =
+      diagram.add<ReduceBlock>("max_dolp", ReduceBlock::Op::Max);
+  diagram.connect(smooth, 0, maxDolp, 0);
+
+  const BlockId outCount = diagram.add<OutputBlock>("defect_count_out");
+  diagram.connect(defectCount, 0, outCount, 0);
+  const BlockId outMax = diagram.add<OutputBlock>("max_dolp_out");
+  diagram.connect(maxDolp, 0, outMax, 0);
+  return diagram;
+}
+
+PolkaOutputs polkaReference(const PolkaConfig& config,
+                            const std::vector<double>& mosaic) {
+  const int ph = config.planeH();
+  const int pw = config.planeW();
+  const int w = config.mosaicW;
+  auto mosaicAt = [&](int r, int c) {
+    return mosaic[static_cast<std::size_t>(r * w + c)];
+  };
+  std::vector<double> i0(static_cast<std::size_t>(ph * pw));
+  std::vector<double> i45(i0.size());
+  std::vector<double> i135(i0.size());
+  std::vector<double> i90(i0.size());
+  for (int r = 0; r < ph; ++r) {
+    for (int c = 0; c < pw; ++c) {
+      const std::size_t k = static_cast<std::size_t>(r * pw + c);
+      i0[k] = mosaicAt(2 * r, 2 * c);
+      i45[k] = mosaicAt(2 * r, 2 * c + 1);
+      i135[k] = mosaicAt(2 * r + 1, 2 * c);
+      i90[k] = mosaicAt(2 * r + 1, 2 * c + 1);
+    }
+  }
+  std::vector<double> dolp(i0.size());
+  for (std::size_t k = 0; k < dolp.size(); ++k) {
+    const double s0 = (i0[k] + i45[k] + i90[k] + i135[k]) / 2.0;
+    const double s1 = i0[k] - i90[k];
+    const double s2 = i45[k] - i135[k];
+    dolp[k] = std::sqrt(s1 * s1 + s2 * s2) / std::max(s0, 0.001);
+  }
+  // 3x3 "same" convolution, zero padding.
+  std::vector<double> smooth(dolp.size(), 0.0);
+  const std::vector<double>& kernel = polkaKernel();
+  for (int r = 0; r < ph; ++r) {
+    for (int c = 0; c < pw; ++c) {
+      double acc = 0.0;
+      for (int kr = 0; kr < 3; ++kr) {
+        for (int kc = 0; kc < 3; ++kc) {
+          const int sr = r + kr - 1;
+          const int sc = c + kc - 1;
+          if (sr < 0 || sr >= ph || sc < 0 || sc >= pw) continue;
+          acc += kernel[static_cast<std::size_t>(kr * 3 + kc)] *
+                 dolp[static_cast<std::size_t>(sr * pw + sc)];
+        }
+      }
+      smooth[static_cast<std::size_t>(r * pw + c)] = acc;
+    }
+  }
+  PolkaOutputs out;
+  out.maxDolp = -1e300;
+  for (double v : smooth) {
+    out.maxDolp = std::max(out.maxDolp, v);
+    if (v > config.dolpThreshold) out.defectCount += 1.0;
+  }
+  return out;
+}
+
+void setPolkaInputs(ir::Environment& env, const PolkaConfig& config,
+                    const std::vector<double>& mosaic) {
+  env["img"] = ir::Value::floats(
+      ir::Type::array(ir::ScalarKind::Float64,
+                      {config.mosaicH, config.mosaicW}),
+      mosaic);
+}
+
+}  // namespace argo::apps

@@ -1,0 +1,55 @@
+// POLKA — polarization-camera glass-stress inspection (industrial use case).
+//
+// Paper Section IV-B: "POLKA uses a novel sensor that measures the
+// polarization of light to detect residual stress in glass containers."
+//
+// Model: the sensor delivers a mosaic image whose 2x2 super-pixels carry
+// four polarizer orientations (0deg, 45deg, 135deg, 90deg). The pipeline:
+//   1. demosaic into four quarter-resolution intensity planes,
+//   2. per-pixel Stokes-parameter computation and degree of linear
+//      polarization, DoLP = sqrt(S1^2 + S2^2) / S0,
+//   3. 3x3 smoothing convolution on the DoLP map,
+//   4. threshold into a stress map, defect pixel count and maximum DoLP.
+// Residual stress rotates polarization (photoelasticity), so high DoLP
+// marks stressed glass. Every image-plane stage is a parallelizable loop
+// nest — the in-line inspection workload the paper motivates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/diagram.h"
+
+namespace argo::apps {
+
+struct PolkaConfig {
+  int mosaicH = 32;  ///< Sensor rows (even).
+  int mosaicW = 32;  ///< Sensor columns (even).
+  double dolpThreshold = 0.35;
+  [[nodiscard]] int planeH() const noexcept { return mosaicH / 2; }
+  [[nodiscard]] int planeW() const noexcept { return mosaicW / 2; }
+};
+
+struct PolkaOutputs {
+  double defectCount = 0.0;
+  double maxDolp = 0.0;
+};
+
+/// Deterministic synthetic mosaic frame: unpolarized background plus one
+/// elliptical stressed region with elevated, rotated polarization.
+[[nodiscard]] std::vector<double> makePolkaFrame(const PolkaConfig& config,
+                                                 std::uint64_t seed);
+
+[[nodiscard]] model::Diagram buildPolkaDiagram(const PolkaConfig& config);
+
+[[nodiscard]] PolkaOutputs polkaReference(const PolkaConfig& config,
+                                          const std::vector<double>& mosaic);
+
+/// Writes a mosaic frame into a compiled-model environment.
+void setPolkaInputs(ir::Environment& env, const PolkaConfig& config,
+                    const std::vector<double>& mosaic);
+
+/// The 3x3 smoothing kernel shared by model and reference.
+[[nodiscard]] const std::vector<double>& polkaKernel();
+
+}  // namespace argo::apps

@@ -1,0 +1,217 @@
+#include "apps/weaa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "model/blocks.h"
+#include "model/scilab.h"
+
+namespace argo::apps {
+
+double weaaCandidateOffset(int m, const WeaaConfig& config) {
+  // Symmetric ladder of lateral offsets around the current track,
+  // e.g. for 8 candidates: -70, -50, ..., +70 m.
+  return (static_cast<double>(m) - (config.candidates + 1) / 2.0) * 20.0;
+}
+
+namespace {
+
+/// Common severity formula as a Scilab expression fragment; `PY` is the
+/// lateral position expression to evaluate against.
+std::string severityBody(const WeaaConfig& config, const std::string& py,
+                         const std::string& target) {
+  std::ostringstream os;
+  os << "  px = ox + ovx * t\n"
+     << "  pz = oz\n"
+     << "  wy1 = ly + lvy * t - " << config.vortexSpan / 2.0 << "\n"
+     << "  wy2 = ly + lvy * t + " << config.vortexSpan / 2.0 << "\n"
+     << "  wz = lz - " << config.sinkRate << " * t\n"
+     << "  wx = lx + lvx * t\n"
+     << "  circ = gamma0 * exp(-t / " << config.decayTau << ")\n"
+     << "  axial = exp(-((px - wx) / 200.0)^2)\n"
+     << "  dy = " << py << " - wy1\n"
+     << "  dz = pz - wz\n"
+     << "  r2 = dy*dy + dz*dz\n"
+     << "  va = circ * sqrt(r2) / (2.0 * pi * (r2 + " << config.coreRadius
+     << "^2))\n"
+     << "  dy = " << py << " - wy2\n"
+     << "  r2 = dy*dy + dz*dz\n"
+     << "  vb = circ * sqrt(r2) / (2.0 * pi * (r2 + " << config.coreRadius
+     << "^2))\n"
+     << "  " << target << " = (va + vb) * axial\n";
+  return os.str();
+}
+
+std::string severityScript(const WeaaConfig& config) {
+  std::ostringstream os;
+  os << "local t; local px; local pz; local wy1; local wy2; local wz\n"
+     << "local wx; local circ; local axial; local dy; local dz; local r2\n"
+     << "local va; local vb\n"
+     << "for k = 1:" << config.horizon << "\n"
+     << "  t = float(k) * " << config.dt << "\n"
+     << severityBody(config, "(oy + ovy * t)", "sev(k)") << "end\n";
+  return os.str();
+}
+
+std::string advisoryScript(const WeaaConfig& config) {
+  std::ostringstream os;
+  os << "local t; local px; local pz; local wy1; local wy2; local wz\n"
+     << "local wx; local circ; local axial; local dy; local dz; local r2\n"
+     << "local va; local vb; local off; local v\n"
+     << "for m = 1:" << config.candidates << "\n"
+     << "  off = (float(m) - " << (config.candidates + 1) / 2.0
+     << ") * 20.0\n"
+     << "  score(m) = 0.0\n"
+     << "  for k = 1:" << config.horizon << "\n"
+     << "    t = float(k) * " << config.dt << "\n"
+     << severityBody(config, "(oy + off + ovy * t)", "v")
+     << "    if v > score(m) then\n"
+     << "      score(m) = v\n"
+     << "    end\n"
+     << "  end\n"
+     << "end\n";
+  return os.str();
+}
+
+constexpr const char* kConflictScript =
+    "conflict = 0.0\n"
+    "if maxsev > thresh then conflict = 1.0 end\n";
+
+}  // namespace
+
+model::Diagram buildWeaaDiagram(const WeaaConfig& config) {
+  using namespace model;
+  namespace sl = model::scilab;
+  const ir::Type scalar = ir::Type::float64();
+  const ir::Type sevType =
+      ir::Type::array(ir::ScalarKind::Float64, {config.horizon});
+  const ir::Type scoreType =
+      ir::Type::array(ir::ScalarKind::Float64, {config.candidates});
+
+  Diagram diagram("weaa");
+  const char* inputNames[] = {"ox", "oy", "oz", "ovx", "ovy",
+                              "lx", "ly", "lz", "lvx", "lvy",
+                              "gamma0"};
+  std::vector<BlockId> inputs;
+  for (const char* name : inputNames) {
+    inputs.push_back(diagram.add<InputBlock>(name, scalar));
+  }
+
+  std::vector<sl::PortSpec> stateports;
+  for (const char* name : inputNames) {
+    stateports.push_back(sl::PortSpec{name, scalar});
+  }
+
+  // Wake prediction + severity sampling along the predicted trajectory.
+  const BlockId severity = diagram.add<ScilabBlock>(
+      "severity", severityScript(config), stateports,
+      std::vector<sl::PortSpec>{{"sev", sevType}});
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    diagram.connect(inputs[i], 0, severity, static_cast<int>(i));
+  }
+
+  const BlockId maxSev = diagram.add<ReduceBlock>("max_severity",
+                                                  ReduceBlock::Op::Max);
+  diagram.connect(severity, 0, maxSev, 0);
+
+  // Conflict detection against the configured threshold.
+  const BlockId threshold = diagram.add<ConstBlock>(
+      "threshold", scalar, std::vector<double>{config.severityThreshold});
+  const BlockId conflict = diagram.add<ScilabBlock>(
+      "conflict_detect", kConflictScript,
+      std::vector<sl::PortSpec>{{"maxsev", scalar}, {"thresh", scalar}},
+      std::vector<sl::PortSpec>{{"conflict", scalar}});
+  diagram.connect(maxSev, 0, conflict, 0);
+  diagram.connect(threshold, 0, conflict, 1);
+
+  // Evasion advisory: score every candidate lateral offset.
+  const BlockId advisory = diagram.add<ScilabBlock>(
+      "advisory", advisoryScript(config), stateports,
+      std::vector<sl::PortSpec>{{"score", scoreType}});
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    diagram.connect(inputs[i], 0, advisory, static_cast<int>(i));
+  }
+
+  const BlockId bestScore =
+      diagram.add<ReduceBlock>("best_score", ReduceBlock::Op::Min);
+  diagram.connect(advisory, 0, bestScore, 0);
+
+  const BlockId outMax = diagram.add<OutputBlock>("max_severity_out");
+  diagram.connect(maxSev, 0, outMax, 0);
+  const BlockId outConflict = diagram.add<OutputBlock>("conflict_out");
+  diagram.connect(conflict, 0, outConflict, 0);
+  const BlockId outScores = diagram.add<OutputBlock>("scores_out");
+  diagram.connect(advisory, 0, outScores, 0);
+  const BlockId outBest = diagram.add<OutputBlock>("best_score_out");
+  diagram.connect(bestScore, 0, outBest, 0);
+  return diagram;
+}
+
+namespace {
+
+double severityAt(const WeaaConfig& config, const WeaaInputs& in, double t,
+                  double lateralOffset) {
+  const double px = in.ox + in.ovx * t;
+  const double py = in.oy + lateralOffset + in.ovy * t;
+  const double pz = in.oz;
+  const double wy1 = in.ly + in.lvy * t - config.vortexSpan / 2.0;
+  const double wy2 = in.ly + in.lvy * t + config.vortexSpan / 2.0;
+  const double wz = in.lz - config.sinkRate * t;
+  const double wx = in.lx + in.lvx * t;
+  const double circ = in.gamma0 * std::exp(-t / config.decayTau);
+  const double ax = (px - wx) / 200.0;
+  const double axial = std::exp(-(ax * ax));
+  const double rc2 = config.coreRadius * config.coreRadius;
+  const double pi = 3.14159265358979323846;
+  auto tangential = [&](double wy) {
+    const double dy = py - wy;
+    const double dz = pz - wz;
+    const double r2 = dy * dy + dz * dz;
+    return circ * std::sqrt(r2) / (2.0 * pi * (r2 + rc2));
+  };
+  return (tangential(wy1) + tangential(wy2)) * axial;
+}
+
+}  // namespace
+
+WeaaOutputs weaaReference(const WeaaConfig& config, const WeaaInputs& inputs) {
+  WeaaOutputs out;
+  out.maxSeverity = -1e300;
+  for (int k = 1; k <= config.horizon; ++k) {
+    const double t = static_cast<double>(k) * config.dt;
+    out.maxSeverity = std::max(out.maxSeverity,
+                               severityAt(config, inputs, t, 0.0));
+  }
+  out.conflict = out.maxSeverity > config.severityThreshold ? 1.0 : 0.0;
+  out.scores.resize(static_cast<std::size_t>(config.candidates));
+  out.bestScore = 1e300;
+  for (int m = 1; m <= config.candidates; ++m) {
+    double worst = 0.0;
+    for (int k = 1; k <= config.horizon; ++k) {
+      const double t = static_cast<double>(k) * config.dt;
+      worst = std::max(worst,
+                       severityAt(config, inputs, t,
+                                  weaaCandidateOffset(m, config)));
+    }
+    out.scores[static_cast<std::size_t>(m - 1)] = worst;
+    out.bestScore = std::min(out.bestScore, worst);
+  }
+  return out;
+}
+
+void setWeaaInputs(ir::Environment& env, const WeaaInputs& in) {
+  env["ox"] = ir::Value::scalarFloat(in.ox);
+  env["oy"] = ir::Value::scalarFloat(in.oy);
+  env["oz"] = ir::Value::scalarFloat(in.oz);
+  env["ovx"] = ir::Value::scalarFloat(in.ovx);
+  env["ovy"] = ir::Value::scalarFloat(in.ovy);
+  env["lx"] = ir::Value::scalarFloat(in.lx);
+  env["ly"] = ir::Value::scalarFloat(in.ly);
+  env["lz"] = ir::Value::scalarFloat(in.lz);
+  env["lvx"] = ir::Value::scalarFloat(in.lvx);
+  env["lvy"] = ir::Value::scalarFloat(in.lvy);
+  env["gamma0"] = ir::Value::scalarFloat(in.gamma0);
+}
+
+}  // namespace argo::apps

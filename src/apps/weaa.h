@@ -1,0 +1,62 @@
+// WEAA — Wake Encounter Avoidance and Advisory system (aerospace use case).
+//
+// Paper Section IV-A: "WEAA provides guidance for tactical small-scale
+// evasion from wake vortices ... WEAA predicts wake vortices, performs
+// conflict detection and generates evasion trajectories."
+//
+// Model: the leader aircraft sheds a counter-rotating vortex pair that
+// descends and decays (Hallock–Burnham core model with exponential
+// circulation decay). The ownship trajectory is predicted over `horizon`
+// time steps; at each step the induced tangential velocity of both
+// vortices at the ownship position gives an upset-severity sample
+// (parallelizable loop). Conflict detection thresholds the maximum
+// severity. The advisory stage evaluates `candidates` lateral evasion
+// offsets, each scored by its worst severity along the horizon (a second,
+// doubly-nested parallelizable loop), and reports the per-candidate scores
+// plus the best score.
+#pragma once
+
+#include <vector>
+
+#include "model/diagram.h"
+
+namespace argo::apps {
+
+struct WeaaConfig {
+  int horizon = 48;     ///< Prediction steps.
+  int candidates = 8;   ///< Evasion maneuvers evaluated.
+  double dt = 0.5;      ///< Seconds per step.
+  double coreRadius = 4.0;    ///< Vortex core radius rc (m).
+  double sinkRate = 1.5;      ///< Vortex descent speed (m/s).
+  double decayTau = 30.0;     ///< Circulation decay constant (s).
+  double vortexSpan = 50.0;   ///< Lateral separation of the pair (m).
+  double severityThreshold = 6.0;  ///< Conflict threshold (m/s induced).
+};
+
+struct WeaaInputs {
+  double ox = 0.0, oy = -30.0, oz = 0.0;   ///< Ownship position (m).
+  double ovx = 70.0, ovy = 1.0;            ///< Ownship velocity (m/s).
+  double lx = 60.0, ly = 0.0, lz = 8.0;    ///< Leader position (m).
+  double lvx = 75.0, lvy = 0.0;            ///< Leader velocity (m/s).
+  double gamma0 = 380.0;                   ///< Initial circulation (m^2/s).
+};
+
+struct WeaaOutputs {
+  double maxSeverity = 0.0;
+  double conflict = 0.0;  ///< 1.0 when maxSeverity exceeds the threshold.
+  std::vector<double> scores;  ///< Per-candidate worst severity.
+  double bestScore = 0.0;      ///< min over scores.
+};
+
+[[nodiscard]] model::Diagram buildWeaaDiagram(const WeaaConfig& config);
+
+[[nodiscard]] WeaaOutputs weaaReference(const WeaaConfig& config,
+                                        const WeaaInputs& inputs);
+
+void setWeaaInputs(ir::Environment& env, const WeaaInputs& inputs);
+
+/// Lateral offset (m) of evasion candidate m (1-based), shared by model
+/// and reference.
+[[nodiscard]] double weaaCandidateOffset(int m, const WeaaConfig& config);
+
+}  // namespace argo::apps

@@ -1,0 +1,182 @@
+#include "core/toolchain.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "support/strings.h"
+#include "transform/const_fold.h"
+#include "transform/loop_transforms.h"
+#include "transform/spm_alloc.h"
+
+namespace argo::core {
+
+namespace {
+
+class StageClock {
+ public:
+  explicit StageClock(std::vector<StageTiming>& sink) : sink_(sink) {}
+
+  template <typename Fn>
+  auto time(const std::string& stage, Fn&& fn) {
+    const auto begin = std::chrono::steady_clock::now();
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      record(stage, begin);
+    } else {
+      auto result = fn();
+      record(stage, begin);
+      return result;
+    }
+  }
+
+ private:
+  void record(const std::string& stage,
+              std::chrono::steady_clock::time_point begin) {
+    const auto end = std::chrono::steady_clock::now();
+    sink_.push_back(StageTiming{
+        stage,
+        std::chrono::duration<double, std::milli>(end - begin).count()});
+  }
+
+  std::vector<StageTiming>& sink_;
+};
+
+}  // namespace
+
+ToolchainResult Toolchain::run(const model::Diagram& diagram) const {
+  return run(diagram.compile());
+}
+
+ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
+  ToolchainResult result;
+  StageClock clock(result.stages);
+
+  // ---- IR + predictability-enhancing transformations (Fig. 1 left). ----
+  result.fn = model.fn->clone();
+  result.constants = model.constants;
+  clock.time("transforms", [&] {
+    transform::PassManager pm;
+    if (options_.runTransforms) {
+      pm.add(std::make_unique<transform::ConstantFolding>());
+      pm.add(std::make_unique<transform::IndexSetSplitting>());
+      pm.add(std::make_unique<transform::LoopFusion>());
+    }
+    if (options_.spmAllocation) {
+      const adl::CoreModel& core = platform_.tile(0).core;
+      pm.add(std::make_unique<transform::ScratchpadAllocation>(
+          core.spmBytes, platform_.sharedAccessBase(0),
+          core.spmAccessCycles));
+    }
+    result.passesRun = pm.run(*result.fn);
+  });
+
+  // ---- Sequential reference bound (single core, no interference). ----
+  clock.time("code_level_wcet", [&] {
+    const wcet::TimingModel model0 = wcet::TimingModel::forTile(platform_, 0);
+    result.sequentialWcet =
+        wcet::SchemaAnalyzer(*result.fn, model0).analyzeFunction().cycles;
+  });
+
+  // ---- Task extraction: one HTG, several candidate granularities. ----
+  const htg::Htg htg = clock.time("task_extraction",
+                                  [&] { return htg::buildHtg(*result.fn); });
+
+  std::vector<int> candidates = options_.chunkCandidates;
+  if (candidates.empty()) {
+    for (int c = 1; c <= 2 * platform_.coreCount(); c *= 2) {
+      candidates.push_back(c);
+    }
+  }
+
+  // ---- Cross-layer feedback: schedule each candidate, measure its
+  // system-level WCET, keep the best (Section II-E). ----
+  struct Candidate {
+    int chunks;
+    int coreLimit;  // 0 = unrestricted
+  };
+  std::vector<Candidate> plans;
+  // Sequential-mapping fallback first: parallelization must *beat* one
+  // core to be selected at all.
+  plans.push_back(Candidate{1, 1});
+  for (int chunks : candidates) plans.push_back(Candidate{chunks, 0});
+
+  bool haveBest = false;
+  clock.time("schedule_and_system_wcet", [&] {
+    for (const Candidate& plan : plans) {
+      htg::ExpandOptions expand;
+      expand.chunksPerLoop = plan.chunks;
+      expand.mergeScalarChains = options_.mergeScalarChains;
+      auto graph = std::make_unique<htg::TaskGraph>(htg::expand(htg, expand));
+      if (graph->tasks.size() > 31 &&
+          options_.sched.policy == sched::Policy::BranchAndBound) {
+        continue;  // exact search cannot represent this candidate
+      }
+      sched::SchedOptions schedOptions = options_.sched;
+      if (plan.coreLimit > 0) schedOptions.coreLimit = plan.coreLimit;
+      sched::Scheduler scheduler(*graph, platform_);
+      sched::Schedule schedule = scheduler.run(schedOptions);
+      par::ParallelProgram program =
+          par::buildParallelProgram(*graph, schedule, platform_);
+      syswcet::SystemWcet system = syswcet::analyzeSystem(
+          program, platform_, scheduler.timings(), options_.interference);
+
+      result.feedback.push_back(FeedbackPoint{
+          plan.chunks, plan.coreLimit, system.makespan,
+          static_cast<int>(graph->tasks.size())});
+
+      if (!haveBest || system.makespan < result.system.makespan) {
+        haveBest = true;
+        result.graph = std::move(graph);
+        result.timings = scheduler.timings();
+        result.schedule = std::move(schedule);
+        result.system = std::move(system);
+        result.chosenChunks = plan.chunks;
+      }
+    }
+  });
+  if (!haveBest) {
+    throw support::ToolchainError("tool-chain: no feasible parallelization");
+  }
+
+  // ---- Final explicit parallel program against the kept graph (its
+  // internal pointers must target the result-owned objects). ----
+  clock.time("parallel_model", [&] {
+    result.program =
+        par::buildParallelProgram(*result.graph, result.schedule, platform_);
+  });
+
+  return result;
+}
+
+std::string ToolchainResult::reportText() const {
+  std::ostringstream os;
+  os << "=== ARGO tool-chain report ===\n";
+  os << "function:            " << fn->name() << "\n";
+  os << "passes run:          "
+     << (passesRun.empty() ? "(none)" : support::join(passesRun, ", "))
+     << "\n";
+  os << "tasks:               " << graph->tasks.size() << " (chunks/loop "
+     << chosenChunks << ")\n";
+  os << "schedule policy:     " << schedule.policy << " on "
+     << schedule.tilesUsed << " tiles\n";
+  os << "sequential WCET:     " << support::formatCycles(sequentialWcet)
+     << " cycles\n";
+  os << "parallel WCET bound: " << support::formatCycles(system.makespan)
+     << " cycles\n";
+  os << "guaranteed speedup:  " << wcetSpeedup() << "x\n";
+  os << "feedback points:\n";
+  for (const FeedbackPoint& p : feedback) {
+    os << "  chunks=" << p.chunksPerLoop
+       << (p.coreLimit == 1 ? " (sequential mapping)" : "")
+       << " tasks=" << p.tasks
+       << " systemWCET=" << support::formatCycles(p.systemWcet)
+       << (p.systemWcet == system.makespan ? "  <== chosen" : "") << "\n";
+  }
+  os << "stage timings:\n";
+  for (const StageTiming& s : stages) {
+    os << "  " << s.stage << ": " << s.milliseconds << " ms\n";
+  }
+  return os.str();
+}
+
+}  // namespace argo::core

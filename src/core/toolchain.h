@@ -1,0 +1,116 @@
+// The ARGO tool-chain driver: the workflow of the paper's Figure 1.
+//
+//   model  ->  IR  ->  transforms  ->  HTG  ->  schedule/map  ->
+//   explicit parallel program  ->  code-level + system-level WCET
+//            ^                                        |
+//            +---------- cross-layer feedback --------+
+//
+// The driver owns the cross-layer iterative optimization of Section II-E:
+// the system-level WCET of each candidate parallelization (task granularity
+// x scheduling policy) is fed back, and the best candidate is kept. This is
+// the tool-chain's answer to the phase-ordering problem: granularity
+// decisions cannot be made well before interference costs are known, so
+// they are revisited after measuring them.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adl/platform.h"
+#include "htg/htg.h"
+#include "model/diagram.h"
+#include "par/parallel_program.h"
+#include "sched/scheduler.h"
+#include "syswcet/system_wcet.h"
+
+namespace argo::core {
+
+using adl::Cycles;
+
+/// Driver configuration.
+struct ToolchainOptions {
+  sched::SchedOptions sched;
+  /// Candidate chunks-per-loop values explored by the feedback loop. When
+  /// empty, a default ladder {1, 2, ..., 2*cores} is used.
+  std::vector<int> chunkCandidates;
+  bool runTransforms = true;
+  bool spmAllocation = true;
+  /// Merge consecutive loop-free HTG nodes into one task (removes the
+  /// synchronization overhead of scalar glue code; see htg::ExpandOptions).
+  bool mergeScalarChains = true;
+  syswcet::InterferenceMethod interference =
+      syswcet::InterferenceMethod::MhpRefined;
+};
+
+/// Wall-clock duration of one tool-chain stage (for E10).
+struct StageTiming {
+  std::string stage;
+  double milliseconds = 0.0;
+};
+
+/// One point of the cross-layer feedback exploration (for E8).
+struct FeedbackPoint {
+  int chunksPerLoop = 0;
+  /// 0 = all cores available; 1 = the sequential-mapping fallback the
+  /// feedback loop always evaluates (so parallelization is only chosen
+  /// when it actually beats one core).
+  int coreLimit = 0;
+  Cycles systemWcet = 0;
+  int tasks = 0;
+};
+
+/// Everything the tool-chain produced. Heap-owned members keep internal
+/// pointers (TaskGraph -> Function, ParallelProgram -> TaskGraph) stable
+/// across moves of the result object.
+struct ToolchainResult {
+  std::unique_ptr<ir::Function> fn;
+  ir::Environment constants;
+  std::unique_ptr<htg::TaskGraph> graph;
+  std::vector<sched::TaskTiming> timings;
+  sched::Schedule schedule;
+  par::ParallelProgram program;
+  syswcet::SystemWcet system;
+
+  /// WCET of the whole (transformed) function on tile 0, single core.
+  Cycles sequentialWcet = 0;
+  /// sequentialWcet / system.makespan — the guaranteed speedup.
+  [[nodiscard]] double wcetSpeedup() const {
+    return system.makespan == 0
+               ? 0.0
+               : static_cast<double>(sequentialWcet) /
+                     static_cast<double>(system.makespan);
+  }
+
+  std::vector<std::string> passesRun;
+  std::vector<StageTiming> stages;
+  std::vector<FeedbackPoint> feedback;
+  int chosenChunks = 1;
+
+  /// Multi-line human-readable summary (the cross-layer programming
+  /// interface of Section II-E, in text form).
+  [[nodiscard]] std::string reportText() const;
+};
+
+/// Runs the full tool-chain on a compiled model.
+class Toolchain {
+ public:
+  Toolchain(adl::Platform platform, ToolchainOptions options)
+      : platform_(std::move(platform)), options_(std::move(options)) {}
+
+  /// The model is copied (function cloned); the input stays usable.
+  [[nodiscard]] ToolchainResult run(const model::CompiledModel& model) const;
+
+  /// Convenience: compile a diagram, then run.
+  [[nodiscard]] ToolchainResult run(const model::Diagram& diagram) const;
+
+  [[nodiscard]] const adl::Platform& platform() const noexcept {
+    return platform_;
+  }
+
+ private:
+  adl::Platform platform_;
+  ToolchainOptions options_;
+};
+
+}  // namespace argo::core

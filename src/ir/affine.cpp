@@ -1,0 +1,86 @@
+#include "ir/affine.h"
+
+namespace argo::ir {
+
+std::int64_t AffineForm::coeff(const std::string& var) const noexcept {
+  auto it = coeffs.find(var);
+  return it == coeffs.end() ? 0 : it->second;
+}
+
+AffineForm AffineForm::operator+(const AffineForm& other) const {
+  if (!affine || !other.affine) return nonAffine();
+  AffineForm out = *this;
+  out.constant += other.constant;
+  for (const auto& [var, c] : other.coeffs) {
+    const std::int64_t sum = out.coeff(var) + c;
+    if (sum == 0) {
+      out.coeffs.erase(var);
+    } else {
+      out.coeffs[var] = sum;
+    }
+  }
+  return out;
+}
+
+AffineForm AffineForm::operator-(const AffineForm& other) const {
+  return *this + other.scaled(-1);
+}
+
+AffineForm AffineForm::scaled(std::int64_t factor) const {
+  if (!affine) return nonAffine();
+  if (factor == 0) return constantForm(0);
+  AffineForm out = *this;
+  out.constant *= factor;
+  for (auto& [var, c] : out.coeffs) c *= factor;
+  return out;
+}
+
+AffineForm analyzeAffine(const Expr& expr,
+                         const std::map<std::string, int>& loopVars) {
+  switch (expr.kind()) {
+    case ExprKind::IntLit:
+      return AffineForm::constantForm(cast<IntLit>(expr).value());
+    case ExprKind::VarRef: {
+      const auto& ref = cast<VarRef>(expr);
+      if (!ref.indices().empty()) return AffineForm::nonAffine();
+      if (!loopVars.contains(ref.name())) return AffineForm::nonAffine();
+      AffineForm f;
+      f.affine = true;
+      f.coeffs[ref.name()] = 1;
+      return f;
+    }
+    case ExprKind::UnOp: {
+      const auto& un = cast<UnOp>(expr);
+      if (un.op() == UnOpKind::Neg) {
+        return analyzeAffine(un.operand(), loopVars).scaled(-1);
+      }
+      if (un.op() == UnOpKind::ToInt) {
+        return analyzeAffine(un.operand(), loopVars);
+      }
+      return AffineForm::nonAffine();
+    }
+    case ExprKind::BinOp: {
+      const auto& bin = cast<BinOp>(expr);
+      const AffineForm a = analyzeAffine(bin.lhs(), loopVars);
+      const AffineForm b = analyzeAffine(bin.rhs(), loopVars);
+      switch (bin.op()) {
+        case BinOpKind::Add: return a + b;
+        case BinOpKind::Sub: return a - b;
+        case BinOpKind::Mul:
+          if (a.isConstant()) return b.scaled(a.constant);
+          if (b.isConstant()) return a.scaled(b.constant);
+          return AffineForm::nonAffine();
+        case BinOpKind::Div:
+          // i / c is affine only for exact constant division we cannot
+          // prove here; stay conservative.
+          return AffineForm::nonAffine();
+        default:
+          return AffineForm::nonAffine();
+      }
+    }
+    default:
+      return AffineForm::nonAffine();
+  }
+}
+
+}  // namespace argo::ir

@@ -1,0 +1,54 @@
+// Affine subscript analysis.
+//
+// The dependence tests (ir/dependence.h) and the task extractor need to
+// know when an array subscript is an affine function of the enclosing loop
+// variables: sum(coeff_k * loopvar_k) + constant. Anything else is treated
+// conservatively as "may touch any element".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "ir/expr.h"
+
+namespace argo::ir {
+
+/// An affine form over named loop variables, or "not affine".
+struct AffineForm {
+  bool affine = false;
+  std::int64_t constant = 0;
+  /// Loop variable name -> coefficient. Variables with coefficient 0 are
+  /// not stored.
+  std::map<std::string, std::int64_t> coeffs;
+
+  [[nodiscard]] static AffineForm nonAffine() { return AffineForm{}; }
+  [[nodiscard]] static AffineForm constantForm(std::int64_t c) {
+    AffineForm f;
+    f.affine = true;
+    f.constant = c;
+    return f;
+  }
+
+  /// Coefficient of `var` (0 when absent).
+  [[nodiscard]] std::int64_t coeff(const std::string& var) const noexcept;
+
+  /// True when the form is affine and depends on no loop variable.
+  [[nodiscard]] bool isConstant() const noexcept {
+    return affine && coeffs.empty();
+  }
+
+  [[nodiscard]] AffineForm operator+(const AffineForm& other) const;
+  [[nodiscard]] AffineForm operator-(const AffineForm& other) const;
+  [[nodiscard]] AffineForm scaled(std::int64_t factor) const;
+
+  friend bool operator==(const AffineForm&, const AffineForm&) = default;
+};
+
+/// Analyzes `expr` as an affine form over the loop variables in `loopVars`.
+/// References to variables not in `loopVars` make the form non-affine
+/// (their value is unknown at compile time).
+[[nodiscard]] AffineForm analyzeAffine(
+    const Expr& expr, const std::map<std::string, int>& loopVars);
+
+}  // namespace argo::ir

@@ -1,0 +1,130 @@
+#include "ir/cfg.h"
+
+#include "support/diagnostics.h"
+
+namespace argo::ir {
+
+using support::ToolchainError;
+
+namespace {
+CfgNode makeNode(CfgNodeKind kind) {
+  CfgNode node;
+  node.kind = kind;
+  return node;
+}
+}  // namespace
+
+int Cfg::addNode(CfgNode node) {
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Cfg::addEdge(int from, int to) {
+  nodes_[from].succs.push_back(to);
+  nodes_[to].preds.push_back(from);
+}
+
+std::unique_ptr<Cfg> Cfg::build(const Block& block) {
+  auto cfg = std::unique_ptr<Cfg>(new Cfg());
+  cfg->entry_ = cfg->addNode(makeNode(CfgNodeKind::Entry));
+  const int last = cfg->buildBlock(block, cfg->entry_);
+  cfg->exit_ = cfg->addNode(makeNode(CfgNodeKind::Exit));
+  cfg->addEdge(last, cfg->exit_);
+  return cfg;
+}
+
+int Cfg::buildBlock(const Block& block, int pred) {
+  int current = pred;
+  int openBasic = -1;  // Basic node accumulating consecutive assignments
+
+  auto flushBasic = [&] { openBasic = -1; };
+
+  for (const StmtPtr& stmt : block.stmts()) {
+    switch (stmt->kind()) {
+      case StmtKind::Assign: {
+        const auto* assign = &cast<Assign>(*stmt);
+        if (openBasic < 0) {
+          openBasic = addNode(makeNode(CfgNodeKind::Basic));
+          addEdge(current, openBasic);
+          current = openBasic;
+        }
+        nodes_[openBasic].assigns.push_back(assign);
+        break;
+      }
+      case StmtKind::For: {
+        flushBasic();
+        const auto& loop = cast<For>(*stmt);
+        CfgNode node = makeNode(CfgNodeKind::Loop);
+        node.loop = &loop;
+        node.body = Cfg::build(loop.body());
+        const int id = addNode(std::move(node));
+        addEdge(current, id);
+        current = id;
+        break;
+      }
+      case StmtKind::If: {
+        flushBasic();
+        const auto& branch = cast<If>(*stmt);
+        CfgNode node = makeNode(CfgNodeKind::Branch);
+        node.cond = &branch.cond();
+        const int branchId = addNode(std::move(node));
+        addEdge(current, branchId);
+        const int thenExit = buildBlock(branch.thenBody(), branchId);
+        const int elseExit = buildBlock(branch.elseBody(), branchId);
+        const int joinId = addNode(makeNode(CfgNodeKind::Join));
+        addEdge(thenExit, joinId);
+        if (elseExit != branchId) {
+          addEdge(elseExit, joinId);
+        } else {
+          addEdge(branchId, joinId);  // empty else arm
+        }
+        current = joinId;
+        break;
+      }
+      case StmtKind::Block: {
+        flushBasic();
+        current = buildBlock(cast<Block>(*stmt), current);
+        flushBasic();
+        break;
+      }
+    }
+    if (stmt->kind() != StmtKind::Assign) flushBasic();
+  }
+  return current;
+}
+
+std::vector<int> Cfg::topoOrder() const {
+  const int n = static_cast<int>(nodes_.size());
+  std::vector<int> indegree(n, 0);
+  for (const CfgNode& node : nodes_) {
+    for (int s : node.succs) ++indegree[s];
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> ready;
+  for (int i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const int id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (int s : nodes_[id].succs) {
+      if (--indegree[s] == 0) ready.push_back(s);
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw ToolchainError("CFG level is not a DAG (internal error)");
+  }
+  return order;
+}
+
+std::size_t Cfg::totalNodeCount() const noexcept {
+  std::size_t count = nodes_.size();
+  for (const CfgNode& node : nodes_) {
+    if (node.body) count += node.body->totalNodeCount();
+  }
+  return count;
+}
+
+}  // namespace argo::ir

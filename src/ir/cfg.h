@@ -1,0 +1,74 @@
+// Hierarchical control flow graph.
+//
+// Because the ARGO IR is fully structured with statically bounded loops,
+// its CFG is hierarchical: at every level the graph is a DAG, and each loop
+// collapses into a single Loop node owning the CFG of its body. The
+// code-level WCET analyzer runs an IPET-style longest-path computation per
+// level (innermost first), which on this graph class is exact — the same
+// result an ILP-based IPET would produce, without needing an LP solver.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/function.h"
+
+namespace argo::ir {
+
+class Cfg;
+
+/// Node kinds of the hierarchical CFG.
+enum class CfgNodeKind : std::uint8_t {
+  Entry,   ///< Unique source, no payload.
+  Exit,    ///< Unique sink, no payload.
+  Basic,   ///< Maximal run of consecutive assignments.
+  Branch,  ///< Condition evaluation; two successors (then, else).
+  Join,    ///< Re-convergence point after a Branch.
+  Loop,    ///< A For loop; owns the CFG of its body.
+};
+
+/// One CFG node. Payload fields are valid according to `kind`.
+struct CfgNode {
+  CfgNodeKind kind = CfgNodeKind::Basic;
+  /// Basic: the assignments executed, in order.
+  std::vector<const Assign*> assigns;
+  /// Branch: the branch condition.
+  const Expr* cond = nullptr;
+  /// Loop: the loop statement and its body CFG.
+  const For* loop = nullptr;
+  std::unique_ptr<Cfg> body;
+
+  std::vector<int> succs;
+  std::vector<int> preds;
+};
+
+/// A single-entry single-exit DAG of CfgNodes.
+class Cfg {
+ public:
+  /// Builds the hierarchical CFG of a block.
+  [[nodiscard]] static std::unique_ptr<Cfg> build(const Block& block);
+
+  [[nodiscard]] const std::vector<CfgNode>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] int entry() const noexcept { return entry_; }
+  [[nodiscard]] int exit() const noexcept { return exit_; }
+  [[nodiscard]] const CfgNode& node(int id) const { return nodes_.at(id); }
+
+  /// Topological order of node ids (the graph at one level is a DAG).
+  [[nodiscard]] std::vector<int> topoOrder() const;
+
+  /// Number of nodes including nested loop bodies.
+  [[nodiscard]] std::size_t totalNodeCount() const noexcept;
+
+ private:
+  int addNode(CfgNode node);
+  void addEdge(int from, int to);
+  int buildBlock(const Block& block, int pred);
+
+  std::vector<CfgNode> nodes_;
+  int entry_ = -1;
+  int exit_ = -1;
+};
+
+}  // namespace argo::ir

@@ -1,0 +1,98 @@
+#include "ir/cost.h"
+
+#include <algorithm>
+
+namespace argo::ir {
+
+const char* opClassName(OpClass op) noexcept {
+  switch (op) {
+    case OpClass::IntAlu: return "int_alu";
+    case OpClass::IntMul: return "int_mul";
+    case OpClass::IntDiv: return "int_div";
+    case OpClass::FloatAdd: return "float_add";
+    case OpClass::FloatMul: return "float_mul";
+    case OpClass::FloatDiv: return "float_div";
+    case OpClass::MathFunc: return "math_func";
+    case OpClass::Compare: return "compare";
+    case OpClass::Select: return "select";
+    case OpClass::Branch: return "branch";
+    case OpClass::LoopStep: return "loop_step";
+  }
+  return "?";
+}
+
+OpCounts& OpCounts::operator+=(const OpCounts& other) noexcept {
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  return *this;
+}
+
+OpCounts& OpCounts::operator*=(std::int64_t factor) noexcept {
+  for (std::int64_t& c : counts_) c *= factor;
+  return *this;
+}
+
+OpCounts OpCounts::max(const OpCounts& a, const OpCounts& b) noexcept {
+  OpCounts out;
+  for (std::size_t i = 0; i < a.counts_.size(); ++i) {
+    out.counts_[i] = std::max(a.counts_[i], b.counts_[i]);
+  }
+  return out;
+}
+
+std::int64_t OpCounts::total() const noexcept {
+  std::int64_t sum = 0;
+  for (std::int64_t c : counts_) sum += c;
+  return sum;
+}
+
+OpClass classifyBinOp(BinOpKind op, bool floatOperands) noexcept {
+  switch (op) {
+    case BinOpKind::Add:
+    case BinOpKind::Sub:
+    case BinOpKind::Min:
+    case BinOpKind::Max:
+      return floatOperands ? OpClass::FloatAdd : OpClass::IntAlu;
+    case BinOpKind::Mul:
+      return floatOperands ? OpClass::FloatMul : OpClass::IntMul;
+    case BinOpKind::Div:
+    case BinOpKind::Mod:
+      return floatOperands ? OpClass::FloatDiv : OpClass::IntDiv;
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge:
+    case BinOpKind::Eq:
+    case BinOpKind::Ne:
+      return floatOperands ? OpClass::FloatAdd : OpClass::Compare;
+    case BinOpKind::And:
+    case BinOpKind::Or:
+      return OpClass::IntAlu;
+  }
+  return OpClass::IntAlu;
+}
+
+OpClass classifyUnOp(UnOpKind op, bool floatOperand) noexcept {
+  switch (op) {
+    case UnOpKind::Neg:
+    case UnOpKind::Abs:
+      return floatOperand ? OpClass::FloatAdd : OpClass::IntAlu;
+    case UnOpKind::Not:
+      return OpClass::IntAlu;
+    case UnOpKind::Sqrt:
+      return OpClass::FloatDiv;
+    case UnOpKind::Exp:
+    case UnOpKind::Log:
+    case UnOpKind::Sin:
+    case UnOpKind::Cos:
+    case UnOpKind::Tan:
+    case UnOpKind::Atan:
+      return OpClass::MathFunc;
+    case UnOpKind::Floor:
+    case UnOpKind::ToFloat:
+    case UnOpKind::ToInt:
+      return OpClass::IntAlu;
+  }
+  return OpClass::IntAlu;
+}
+
+}  // namespace argo::ir

@@ -1,0 +1,411 @@
+#include "ir/dependence.h"
+
+#include <numeric>
+
+namespace argo::ir {
+
+namespace {
+
+void collectExprReads(const Expr& expr, const std::set<std::string>& loopVars,
+                      std::set<std::string>& reads) {
+  switch (expr.kind()) {
+    case ExprKind::IntLit:
+    case ExprKind::FloatLit:
+    case ExprKind::BoolLit:
+      break;
+    case ExprKind::VarRef: {
+      const auto& ref = cast<VarRef>(expr);
+      if (!loopVars.contains(ref.name())) reads.insert(ref.name());
+      for (const ExprPtr& idx : ref.indices()) {
+        collectExprReads(*idx, loopVars, reads);
+      }
+      break;
+    }
+    case ExprKind::BinOp: {
+      const auto& bin = cast<BinOp>(expr);
+      collectExprReads(bin.lhs(), loopVars, reads);
+      collectExprReads(bin.rhs(), loopVars, reads);
+      break;
+    }
+    case ExprKind::UnOp:
+      collectExprReads(cast<UnOp>(expr).operand(), loopVars, reads);
+      break;
+    case ExprKind::Call:
+      for (const ExprPtr& a : cast<Call>(expr).args()) {
+        collectExprReads(*a, loopVars, reads);
+      }
+      break;
+    case ExprKind::Select: {
+      const auto& sel = cast<Select>(expr);
+      collectExprReads(sel.cond(), loopVars, reads);
+      collectExprReads(sel.onTrue(), loopVars, reads);
+      collectExprReads(sel.onFalse(), loopVars, reads);
+      break;
+    }
+  }
+}
+
+void collectStmtUsage(const Stmt& stmt, std::set<std::string>& loopVars,
+                      VarUsage& usage) {
+  switch (stmt.kind()) {
+    case StmtKind::Assign: {
+      const auto& assign = cast<Assign>(stmt);
+      collectExprReads(assign.rhs(), loopVars, usage.reads);
+      for (const ExprPtr& idx : assign.lhs().indices()) {
+        collectExprReads(*idx, loopVars, usage.reads);
+      }
+      usage.writes.insert(assign.lhs().name());
+      break;
+    }
+    case StmtKind::For: {
+      const auto& loop = cast<For>(stmt);
+      const auto [it, inserted] = loopVars.insert(loop.var());
+      for (const StmtPtr& s : loop.body().stmts()) {
+        collectStmtUsage(*s, loopVars, usage);
+      }
+      if (inserted) loopVars.erase(it);
+      break;
+    }
+    case StmtKind::If: {
+      const auto& branch = cast<If>(stmt);
+      collectExprReads(branch.cond(), loopVars, usage.reads);
+      for (const StmtPtr& s : branch.thenBody().stmts()) {
+        collectStmtUsage(*s, loopVars, usage);
+      }
+      for (const StmtPtr& s : branch.elseBody().stmts()) {
+        collectStmtUsage(*s, loopVars, usage);
+      }
+      break;
+    }
+    case StmtKind::Block:
+      for (const StmtPtr& s : cast<Block>(stmt).stmts()) {
+        collectStmtUsage(*s, loopVars, usage);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+bool VarUsage::conflictsWith(const VarUsage& later) const {
+  for (const std::string& w : writes) {
+    if (later.reads.contains(w) || later.writes.contains(w)) return true;
+  }
+  for (const std::string& r : reads) {
+    if (later.writes.contains(r)) return true;
+  }
+  return false;
+}
+
+void VarUsage::merge(const VarUsage& other) {
+  reads.insert(other.reads.begin(), other.reads.end());
+  writes.insert(other.writes.begin(), other.writes.end());
+}
+
+VarUsage collectUsage(const Stmt& stmt) {
+  VarUsage usage;
+  std::set<std::string> loopVars;
+  collectStmtUsage(stmt, loopVars, usage);
+  return usage;
+}
+
+VarUsage collectUsage(const Block& block) {
+  VarUsage usage;
+  std::set<std::string> loopVars;
+  for (const StmtPtr& s : block.stmts()) {
+    collectStmtUsage(*s, loopVars, usage);
+  }
+  return usage;
+}
+
+namespace {
+
+class AccessCollector {
+ public:
+  explicit AccessCollector(std::map<std::string, int> loopVars)
+      : loopVars_(std::move(loopVars)) {}
+
+  void visitBlock(const Block& block) {
+    for (const StmtPtr& s : block.stmts()) visitStmt(*s);
+  }
+
+  std::vector<ArrayAccess> take() { return std::move(accesses_); }
+
+ private:
+  void visitStmt(const Stmt& stmt) {
+    switch (stmt.kind()) {
+      case StmtKind::Assign: {
+        const auto& assign = cast<Assign>(stmt);
+        visitExpr(assign.rhs());
+        for (const ExprPtr& idx : assign.lhs().indices()) visitExpr(*idx);
+        record(assign.lhs(), /*isWrite=*/true);
+        break;
+      }
+      case StmtKind::For: {
+        const auto& loop = cast<For>(stmt);
+        const int depth = static_cast<int>(loopVars_.size());
+        loopVars_.emplace(loop.var(), depth);
+        visitBlock(loop.body());
+        loopVars_.erase(loop.var());
+        break;
+      }
+      case StmtKind::If: {
+        const auto& branch = cast<If>(stmt);
+        visitExpr(branch.cond());
+        visitBlock(branch.thenBody());
+        visitBlock(branch.elseBody());
+        break;
+      }
+      case StmtKind::Block:
+        visitBlock(cast<Block>(stmt));
+        break;
+    }
+  }
+
+  void visitExpr(const Expr& expr) {
+    switch (expr.kind()) {
+      case ExprKind::VarRef:
+        record(cast<VarRef>(expr), /*isWrite=*/false);
+        for (const ExprPtr& idx : cast<VarRef>(expr).indices()) {
+          visitExpr(*idx);
+        }
+        break;
+      case ExprKind::BinOp: {
+        const auto& bin = cast<BinOp>(expr);
+        visitExpr(bin.lhs());
+        visitExpr(bin.rhs());
+        break;
+      }
+      case ExprKind::UnOp:
+        visitExpr(cast<UnOp>(expr).operand());
+        break;
+      case ExprKind::Call:
+        for (const ExprPtr& a : cast<Call>(expr).args()) visitExpr(*a);
+        break;
+      case ExprKind::Select: {
+        const auto& sel = cast<Select>(expr);
+        visitExpr(sel.cond());
+        visitExpr(sel.onTrue());
+        visitExpr(sel.onFalse());
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void record(const VarRef& ref, bool isWrite) {
+    if (loopVars_.contains(ref.name()) && ref.indices().empty()) return;
+    ArrayAccess access;
+    access.array = ref.name();
+    access.isWrite = isWrite;
+    access.subscripts.reserve(ref.indices().size());
+    for (const ExprPtr& idx : ref.indices()) {
+      access.subscripts.push_back(analyzeAffine(*idx, loopVars_));
+    }
+    accesses_.push_back(std::move(access));
+  }
+
+  std::map<std::string, int> loopVars_;
+  std::vector<ArrayAccess> accesses_;
+};
+
+}  // namespace
+
+std::vector<ArrayAccess> collectArrayAccesses(
+    const Block& block, const std::map<std::string, int>& loopVars) {
+  AccessCollector collector(loopVars);
+  collector.visitBlock(block);
+  return collector.take();
+}
+
+namespace {
+
+/// Per-dimension outcome of the subscript test.
+enum class DimAnswer {
+  ProvesNoCarried,  ///< This dimension rules out any loop-carried solution.
+  Consistent,       ///< This dimension admits a carried solution / unknown.
+};
+
+DimAnswer testDimension(const AffineForm& a, const AffineForm& b,
+                        const std::string& loopVar, std::int64_t tripCount) {
+  if (!a.affine || !b.affine) return DimAnswer::Consistent;
+
+  // Coefficients of variables other than loopVar must match in both
+  // instances, otherwise the unknown difference prevents any proof.
+  for (const auto& [var, coeff] : a.coeffs) {
+    if (var != loopVar && b.coeff(var) != coeff) return DimAnswer::Consistent;
+  }
+  for (const auto& [var, coeff] : b.coeffs) {
+    if (var != loopVar && a.coeff(var) != coeff) return DimAnswer::Consistent;
+  }
+
+  const std::int64_t ca = a.coeff(loopVar);
+  const std::int64_t cb = b.coeff(loopVar);
+  const std::int64_t diff = b.constant - a.constant;  // solve ca*i - cb*i' = diff
+
+  if (ca == 0 && cb == 0) {
+    // ZIV: subscripts never vary with the loop; equal iff diff == 0.
+    return diff == 0 ? DimAnswer::Consistent : DimAnswer::ProvesNoCarried;
+  }
+
+  if (ca == cb) {
+    // Strong SIV: c*(i - i') = diff; distance d = diff / c.
+    const std::int64_t c = ca;
+    if (diff % c != 0) return DimAnswer::ProvesNoCarried;
+    const std::int64_t distance = diff / c;
+    if (distance == 0) {
+      // Conflicts only within the same iteration: not loop-carried.
+      return DimAnswer::ProvesNoCarried;
+    }
+    if (distance >= tripCount || distance <= -tripCount) {
+      return DimAnswer::ProvesNoCarried;
+    }
+    return DimAnswer::Consistent;
+  }
+
+  // General case: GCD test on ca*i - cb*i' = diff.
+  const std::int64_t g = std::gcd(ca, cb);
+  if (g != 0 && diff % g != 0) return DimAnswer::ProvesNoCarried;
+  return DimAnswer::Consistent;
+}
+
+}  // namespace
+
+DependenceAnswer testLoopCarried(const ArrayAccess& a, const ArrayAccess& b,
+                                 const std::string& loopVar,
+                                 std::int64_t tripCount) {
+  if (a.array != b.array) return DependenceAnswer::Independent;
+  if (!a.isWrite && !b.isWrite) return DependenceAnswer::Independent;
+  if (a.subscripts.size() != b.subscripts.size()) {
+    return DependenceAnswer::Dependent;  // malformed; stay safe
+  }
+  // A dependence requires every dimension to conflict simultaneously, so a
+  // single dimension that rules out carried solutions proves independence.
+  for (std::size_t d = 0; d < a.subscripts.size(); ++d) {
+    if (testDimension(a.subscripts[d], b.subscripts[d], loopVar, tripCount) ==
+        DimAnswer::ProvesNoCarried) {
+      return DependenceAnswer::Independent;
+    }
+  }
+  return DependenceAnswer::Dependent;
+}
+
+namespace {
+
+/// Dataflow state of one scalar while scanning a region in program order.
+enum class PrivState {
+  Clean,  ///< Not touched, or only touched in sub-regions that themselves
+          ///< write-before-read; no stale value can have been read.
+  Kill,   ///< Definitely overwritten before any read in this region.
+  Dirty,  ///< May read a value from a previous iteration.
+};
+
+PrivState scanBlock(const Block& body, const std::string& scalar);
+
+PrivState scanStmt(const Stmt& stmt, const std::string& scalar) {
+  switch (stmt.kind()) {
+    case StmtKind::Assign: {
+      const auto& assign = cast<Assign>(stmt);
+      const VarUsage usage = collectUsage(stmt);
+      if (usage.reads.contains(scalar)) return PrivState::Dirty;
+      if (assign.lhs().name() == scalar && assign.lhs().indices().empty()) {
+        return PrivState::Kill;
+      }
+      return PrivState::Clean;
+    }
+    case StmtKind::For: {
+      const auto& loop = cast<For>(stmt);
+      const VarUsage usage = collectUsage(stmt);
+      if (!usage.reads.contains(scalar) && !usage.writes.contains(scalar)) {
+        return PrivState::Clean;
+      }
+      // A loop whose every iteration writes the scalar before reading it
+      // cannot observe a stale value; but since the trip count may be
+      // zero from this analysis' perspective, it does not count as a
+      // definite kill for the enclosing region.
+      const PrivState inner = scanBlock(loop.body(), scalar);
+      return inner == PrivState::Dirty ? PrivState::Dirty : PrivState::Clean;
+    }
+    case StmtKind::If: {
+      const auto& branch = cast<If>(stmt);
+      // A condition read observes the value from iteration start: stale.
+      {
+        std::set<std::string> condReads;
+        std::set<std::string> noLoopVars;
+        collectExprReads(branch.cond(), noLoopVars, condReads);
+        if (condReads.contains(scalar)) return PrivState::Dirty;
+      }
+      const PrivState thenState = scanBlock(branch.thenBody(), scalar);
+      const PrivState elseState = scanBlock(branch.elseBody(), scalar);
+      if (thenState == PrivState::Dirty || elseState == PrivState::Dirty) {
+        return PrivState::Dirty;
+      }
+      if (thenState == PrivState::Kill && elseState == PrivState::Kill) {
+        return PrivState::Kill;
+      }
+      return PrivState::Clean;
+    }
+    case StmtKind::Block:
+      return scanBlock(cast<Block>(stmt), scalar);
+  }
+  return PrivState::Dirty;
+}
+
+PrivState scanBlock(const Block& body, const std::string& scalar) {
+  for (const StmtPtr& s : body.stmts()) {
+    switch (scanStmt(*s, scalar)) {
+      case PrivState::Kill: return PrivState::Kill;
+      case PrivState::Dirty: return PrivState::Dirty;
+      case PrivState::Clean: break;
+    }
+  }
+  return PrivState::Clean;
+}
+
+}  // namespace
+
+bool isScalarPrivatizable(const Block& body, const std::string& scalar) {
+  // Privatizable iff no execution path can read a value the scalar held
+  // when the iteration started: the scan must never go Dirty. (Kill and
+  // Clean are both fine — Clean means every read was dominated by a write
+  // inside its own sub-region.)
+  return scanBlock(body, scalar) != PrivState::Dirty;
+}
+
+bool isLoopParallel(const For& loop, const Function& fn) {
+  const std::int64_t trip = loop.tripCount();
+  if (trip <= 1) return true;
+
+  // Scalar writes: allowed only for provably-private temporaries.
+  const VarUsage usage = collectUsage(loop.body());
+  for (const std::string& w : usage.writes) {
+    const VarDecl* decl = fn.find(w);
+    if (decl == nullptr) continue;  // inner loop variable
+    if (decl->type.isScalar()) {
+      if (decl->role != VarRole::Temp) return false;
+      if (!isScalarPrivatizable(loop.body(), w)) return false;
+    }
+  }
+
+  // Array accesses: pairwise loop-carried tests on the loop variable.
+  std::map<std::string, int> loopVars;
+  loopVars.emplace(loop.var(), 0);
+  const std::vector<ArrayAccess> accesses =
+      collectArrayAccesses(loop.body(), loopVars);
+  for (std::size_t i = 0; i < accesses.size(); ++i) {
+    if (accesses[i].subscripts.empty()) continue;  // scalars handled above
+    for (std::size_t j = i; j < accesses.size(); ++j) {
+      if (accesses[j].subscripts.empty()) continue;
+      if (!accesses[i].isWrite && !accesses[j].isWrite) continue;
+      if (accesses[i].array != accesses[j].array) continue;
+      if (testLoopCarried(accesses[i], accesses[j], loop.var(), trip) ==
+          DependenceAnswer::Dependent) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace argo::ir

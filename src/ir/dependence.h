@@ -1,0 +1,88 @@
+// Data dependence analysis.
+//
+// Two layers, matching what the ARGO flow needs:
+//
+//  1. Name-level read/write sets (VarUsage) — drive the HTG builder's
+//     dependence edges between tasks: task B depends on task A iff A writes
+//     something B reads (flow), B writes something A reads (anti), or both
+//     write the same variable (output).
+//
+//  2. Loop-carried dependence testing — drives the legality of loop-level
+//     parallelization (splitting a For's iteration range across cores).
+//     Subscripts affine in the loop variables are compared with the classic
+//     ZIV / strong-SIV / GCD tests; anything non-affine is conservatively
+//     dependent.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/affine.h"
+#include "ir/function.h"
+
+namespace argo::ir {
+
+/// Name-level read and write sets of a statement or region.
+struct VarUsage {
+  std::set<std::string> reads;
+  std::set<std::string> writes;
+
+  /// True if `later` must be ordered after `*this` (flow, anti or output
+  /// dependence at name granularity).
+  [[nodiscard]] bool conflictsWith(const VarUsage& later) const;
+
+  void merge(const VarUsage& other);
+};
+
+/// Collects the read/write sets of `stmt`. Loop variables of loops *inside*
+/// stmt are not reported (they are private to the region).
+[[nodiscard]] VarUsage collectUsage(const Stmt& stmt);
+[[nodiscard]] VarUsage collectUsage(const Block& block);
+
+/// One array access inside a loop body, with affine subscripts where
+/// possible.
+struct ArrayAccess {
+  std::string array;
+  bool isWrite = false;
+  /// One form per subscript dimension; non-affine forms have affine==false.
+  std::vector<AffineForm> subscripts;
+};
+
+/// Collects all array accesses in `block`. `loopVars` maps enclosing loop
+/// variable names to their nesting depth; subscripts are analyzed as affine
+/// forms over those variables. Scalar accesses are reported with empty
+/// `subscripts`.
+[[nodiscard]] std::vector<ArrayAccess> collectArrayAccesses(
+    const Block& block, const std::map<std::string, int>& loopVars);
+
+/// Result of a dependence test between two subscript forms.
+enum class DependenceAnswer {
+  Independent,  ///< Proven: no iteration pair with distinct values conflicts.
+  Dependent,    ///< Proven or assumed (conservative) dependence.
+};
+
+/// Tests whether accesses `a` and `b` (same array, at least one write) may
+/// conflict for two *different* iterations of loop `loopVar`, whose
+/// normalized iteration range is [0, tripCount). Other loop variables are
+/// treated as equal in both instances (i.e. we test for dependences carried
+/// by `loopVar` only).
+[[nodiscard]] DependenceAnswer testLoopCarried(const ArrayAccess& a,
+                                               const ArrayAccess& b,
+                                               const std::string& loopVar,
+                                               std::int64_t tripCount);
+
+/// Scalars written inside a loop body are parallelization-blockers unless
+/// provably private: the scalar is written at the top level of the body
+/// before any read in that iteration. This detects the common
+/// "tmp = ...; use tmp" reduction-free pattern.
+[[nodiscard]] bool isScalarPrivatizable(const Block& body,
+                                        const std::string& scalar);
+
+/// Top-level query used by the parallelizing transforms: can iterations of
+/// `loop` execute concurrently? True when no loop-carried dependence exists
+/// on `loop`'s variable. `fn` provides declarations (scalar vs array).
+[[nodiscard]] bool isLoopParallel(const For& loop, const Function& fn);
+
+}  // namespace argo::ir

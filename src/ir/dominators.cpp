@@ -1,0 +1,104 @@
+#include "ir/dominators.h"
+
+#include <algorithm>
+#include <string>
+
+#include "support/diagnostics.h"
+
+namespace argo::ir {
+
+using support::ToolchainError;
+
+DominatorTree::DominatorTree(const Cfg& cfg) {
+  const std::vector<int> topo = cfg.topoOrder();  // reverse postorder on DAGs
+  const std::size_t n = cfg.nodes().size();
+  idom_.assign(n, -1);
+
+  std::vector<int> orderIndex(n, -1);
+  for (std::size_t k = 0; k < topo.size(); ++k) {
+    orderIndex[static_cast<std::size_t>(topo[k])] = static_cast<int>(k);
+  }
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (orderIndex[static_cast<std::size_t>(a)] >
+             orderIndex[static_cast<std::size_t>(b)]) {
+        a = idom_[static_cast<std::size_t>(a)];
+      }
+      while (orderIndex[static_cast<std::size_t>(b)] >
+             orderIndex[static_cast<std::size_t>(a)]) {
+        b = idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  idom_[static_cast<std::size_t>(cfg.entry())] = cfg.entry();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int node : topo) {
+      if (node == cfg.entry()) continue;
+      int newIdom = -1;
+      for (int pred : cfg.node(node).preds) {
+        if (idom_[static_cast<std::size_t>(pred)] < 0) continue;
+        newIdom = newIdom < 0 ? pred : intersect(pred, newIdom);
+      }
+      if (newIdom >= 0 && idom_[static_cast<std::size_t>(node)] != newIdom) {
+        idom_[static_cast<std::size_t>(node)] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  // Entry's idom is conventionally -1 for clients.
+  idom_[static_cast<std::size_t>(cfg.entry())] = -1;
+}
+
+bool DominatorTree::dominates(int a, int b) const {
+  int cursor = b;
+  while (cursor >= 0) {
+    if (cursor == a) return true;
+    cursor = idom_[static_cast<std::size_t>(cursor)];
+  }
+  return false;
+}
+
+int DominatorTree::depth(int node) const {
+  int depth = 0;
+  int cursor = idom_.at(static_cast<std::size_t>(node));
+  while (cursor >= 0) {
+    ++depth;
+    cursor = idom_[static_cast<std::size_t>(cursor)];
+  }
+  return depth;
+}
+
+std::vector<std::string> checkSeseDiscipline(const Cfg& cfg) {
+  std::vector<std::string> problems;
+  const DominatorTree dom(cfg);
+  for (std::size_t id = 0; id < cfg.nodes().size(); ++id) {
+    const CfgNode& node = cfg.nodes()[id];
+    const int nodeId = static_cast<int>(id);
+    if (nodeId != cfg.entry() && !dom.dominates(cfg.entry(), nodeId)) {
+      problems.push_back("node " + std::to_string(id) +
+                         " not dominated by entry");
+    }
+    if (node.kind == CfgNodeKind::Join) {
+      // The join's immediate dominator must be the matching branch.
+      const int idom = dom.idom(nodeId);
+      if (idom < 0 || cfg.node(idom).kind != CfgNodeKind::Branch) {
+        problems.push_back("join node " + std::to_string(id) +
+                           " not immediately dominated by a branch");
+      }
+    }
+    // Recurse into nested loop bodies.
+    if (node.body) {
+      for (std::string& p : checkSeseDiscipline(*node.body)) {
+        problems.push_back("loop body: " + std::move(p));
+      }
+    }
+  }
+  return problems;
+}
+
+}  // namespace argo::ir

@@ -1,0 +1,49 @@
+// Dominator analysis on one level of the hierarchical CFG.
+//
+// Used by the analysis-validation layer: every Join node of a well-formed
+// structured CFG must be dominated by its matching Branch, and the
+// timing-schema decomposition is only exact when that single-entry
+// single-exit (SESE) discipline holds. The dominator tree makes the
+// property checkable (tests/ir_cfg_rewrite_test.cpp) and gives tooling a
+// foothold for region-based reports in the cross-layer interface.
+//
+// Implementation: Cooper–Harvey–Kennedy iterative algorithm over the
+// reverse-postorder of the (per-level, acyclic) CFG.
+#pragma once
+
+#include <vector>
+
+#include "ir/cfg.h"
+
+namespace argo::ir {
+
+/// Immediate-dominator table for one CFG level.
+class DominatorTree {
+ public:
+  /// Computes dominators of `cfg` (one level; nested loop bodies have
+  /// their own trees).
+  explicit DominatorTree(const Cfg& cfg);
+
+  /// Immediate dominator of `node` (-1 for the entry node).
+  [[nodiscard]] int idom(int node) const {
+    return idom_.at(static_cast<std::size_t>(node));
+  }
+
+  /// True when `a` dominates `b` (reflexive: every node dominates itself).
+  [[nodiscard]] bool dominates(int a, int b) const;
+
+  /// Depth of a node in the dominator tree (entry = 0).
+  [[nodiscard]] int depth(int node) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return idom_.size(); }
+
+ private:
+  std::vector<int> idom_;
+};
+
+/// Structural sanity check used by tests and by PassManager-style debug
+/// validation: every Join is dominated by a Branch, and every node is
+/// dominated by the entry. Returns problem descriptions (empty = valid).
+[[nodiscard]] std::vector<std::string> checkSeseDiscipline(const Cfg& cfg);
+
+}  // namespace argo::ir

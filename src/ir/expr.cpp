@@ -1,0 +1,77 @@
+#include "ir/expr.h"
+
+namespace argo::ir {
+
+const char* binOpName(BinOpKind op) noexcept {
+  switch (op) {
+    case BinOpKind::Add: return "+";
+    case BinOpKind::Sub: return "-";
+    case BinOpKind::Mul: return "*";
+    case BinOpKind::Div: return "/";
+    case BinOpKind::Mod: return "%";
+    case BinOpKind::Min: return "min";
+    case BinOpKind::Max: return "max";
+    case BinOpKind::Lt: return "<";
+    case BinOpKind::Le: return "<=";
+    case BinOpKind::Gt: return ">";
+    case BinOpKind::Ge: return ">=";
+    case BinOpKind::Eq: return "==";
+    case BinOpKind::Ne: return "!=";
+    case BinOpKind::And: return "&&";
+    case BinOpKind::Or: return "||";
+  }
+  return "?";
+}
+
+const char* unOpName(UnOpKind op) noexcept {
+  switch (op) {
+    case UnOpKind::Neg: return "-";
+    case UnOpKind::Not: return "!";
+    case UnOpKind::Abs: return "abs";
+    case UnOpKind::Sqrt: return "sqrt";
+    case UnOpKind::Exp: return "exp";
+    case UnOpKind::Log: return "log";
+    case UnOpKind::Sin: return "sin";
+    case UnOpKind::Cos: return "cos";
+    case UnOpKind::Tan: return "tan";
+    case UnOpKind::Atan: return "atan";
+    case UnOpKind::Floor: return "floor";
+    case UnOpKind::ToFloat: return "float";
+    case UnOpKind::ToInt: return "int";
+  }
+  return "?";
+}
+
+bool isComparison(BinOpKind op) noexcept {
+  switch (op) {
+    case BinOpKind::Lt:
+    case BinOpKind::Le:
+    case BinOpKind::Gt:
+    case BinOpKind::Ge:
+    case BinOpKind::Eq:
+    case BinOpKind::Ne:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isLogical(BinOpKind op) noexcept {
+  return op == BinOpKind::And || op == BinOpKind::Or;
+}
+
+ExprPtr VarRef::clone() const {
+  std::vector<ExprPtr> indices;
+  indices.reserve(indices_.size());
+  for (const ExprPtr& idx : indices_) indices.push_back(idx->clone());
+  return std::make_unique<VarRef>(name_, std::move(indices));
+}
+
+ExprPtr Call::clone() const {
+  std::vector<ExprPtr> args;
+  args.reserve(args_.size());
+  for (const ExprPtr& a : args_) args.push_back(a->clone());
+  return std::make_unique<Call>(callee_, std::move(args));
+}
+
+}  // namespace argo::ir

@@ -1,0 +1,170 @@
+#include "ir/printer.h"
+
+#include <sstream>
+
+namespace argo::ir {
+
+namespace {
+
+void printExpr(std::ostream& os, const Expr& expr);
+
+void printArgs(std::ostream& os, const std::vector<ExprPtr>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) os << ", ";
+    printExpr(os, *args[i]);
+  }
+}
+
+void printExpr(std::ostream& os, const Expr& expr) {
+  switch (expr.kind()) {
+    case ExprKind::IntLit:
+      os << cast<IntLit>(expr).value();
+      break;
+    case ExprKind::FloatLit:
+      os << cast<FloatLit>(expr).value();
+      break;
+    case ExprKind::BoolLit:
+      os << (cast<BoolLit>(expr).value() ? "true" : "false");
+      break;
+    case ExprKind::VarRef: {
+      const auto& ref = cast<VarRef>(expr);
+      os << ref.name();
+      for (const ExprPtr& idx : ref.indices()) {
+        os << '[';
+        printExpr(os, *idx);
+        os << ']';
+      }
+      break;
+    }
+    case ExprKind::BinOp: {
+      const auto& bin = cast<BinOp>(expr);
+      if (bin.op() == BinOpKind::Min || bin.op() == BinOpKind::Max) {
+        os << binOpName(bin.op()) << '(';
+        printExpr(os, bin.lhs());
+        os << ", ";
+        printExpr(os, bin.rhs());
+        os << ')';
+      } else {
+        os << '(';
+        printExpr(os, bin.lhs());
+        os << ' ' << binOpName(bin.op()) << ' ';
+        printExpr(os, bin.rhs());
+        os << ')';
+      }
+      break;
+    }
+    case ExprKind::UnOp: {
+      const auto& un = cast<UnOp>(expr);
+      if (un.op() == UnOpKind::Neg || un.op() == UnOpKind::Not) {
+        os << unOpName(un.op()) << '(';
+      } else {
+        os << unOpName(un.op()) << '(';
+      }
+      printExpr(os, un.operand());
+      os << ')';
+      break;
+    }
+    case ExprKind::Call: {
+      const auto& c = cast<Call>(expr);
+      os << c.callee() << '(';
+      printArgs(os, c.args());
+      os << ')';
+      break;
+    }
+    case ExprKind::Select: {
+      const auto& sel = cast<Select>(expr);
+      os << '(';
+      printExpr(os, sel.cond());
+      os << " ? ";
+      printExpr(os, sel.onTrue());
+      os << " : ";
+      printExpr(os, sel.onFalse());
+      os << ')';
+      break;
+    }
+  }
+}
+
+void printStmt(std::ostream& os, const Stmt& stmt, int indent);
+
+void printBlockBody(std::ostream& os, const Block& block, int indent) {
+  for (const StmtPtr& s : block.stmts()) printStmt(os, *s, indent);
+}
+
+void printStmt(std::ostream& os, const Stmt& stmt, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  if (!stmt.label.empty()) os << pad << "// " << stmt.label << '\n';
+  switch (stmt.kind()) {
+    case StmtKind::Assign: {
+      const auto& a = cast<Assign>(stmt);
+      os << pad;
+      printExpr(os, a.lhs());
+      os << " = ";
+      printExpr(os, a.rhs());
+      os << ";\n";
+      break;
+    }
+    case StmtKind::For: {
+      const auto& loop = cast<For>(stmt);
+      os << pad << "for (" << loop.var() << " = " << loop.lower() << "; "
+         << loop.var() << " < " << loop.upper() << "; " << loop.var();
+      if (loop.step() == 1) {
+        os << "++";
+      } else {
+        os << " += " << loop.step();
+      }
+      os << ") {\n";
+      printBlockBody(os, loop.body(), indent + 1);
+      os << pad << "}\n";
+      break;
+    }
+    case StmtKind::If: {
+      const auto& branch = cast<If>(stmt);
+      os << pad << "if (";
+      printExpr(os, branch.cond());
+      os << ") {\n";
+      printBlockBody(os, branch.thenBody(), indent + 1);
+      if (!branch.elseBody().empty()) {
+        os << pad << "} else {\n";
+        printBlockBody(os, branch.elseBody(), indent + 1);
+      }
+      os << pad << "}\n";
+      break;
+    }
+    case StmtKind::Block: {
+      os << pad << "{\n";
+      printBlockBody(os, cast<Block>(stmt), indent + 1);
+      os << pad << "}\n";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string toString(const Expr& expr) {
+  std::ostringstream os;
+  printExpr(os, expr);
+  return os.str();
+}
+
+std::string toString(const Stmt& stmt, int indent) {
+  std::ostringstream os;
+  printStmt(os, stmt, indent);
+  return os.str();
+}
+
+std::string toString(const Function& fn) {
+  std::ostringstream os;
+  os << "function " << fn.name() << " {\n";
+  for (const VarDecl& d : fn.decls()) {
+    os << "  " << varRoleName(d.role) << ' ' << d.type.str() << ' ' << d.name
+       << "  // " << storageName(d.storage) << '\n';
+  }
+  os << '\n';
+  printBlockBody(os, fn.body(), 1);
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace argo::ir

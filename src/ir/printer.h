@@ -1,0 +1,14 @@
+// Pretty-printer: renders IR as C-like source for reports and debugging.
+#pragma once
+
+#include <string>
+
+#include "ir/function.h"
+
+namespace argo::ir {
+
+[[nodiscard]] std::string toString(const Expr& expr);
+[[nodiscard]] std::string toString(const Stmt& stmt, int indent = 0);
+[[nodiscard]] std::string toString(const Function& fn);
+
+}  // namespace argo::ir

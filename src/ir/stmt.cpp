@@ -1,0 +1,38 @@
+#include "ir/stmt.h"
+
+namespace argo::ir {
+
+StmtPtr Block::clone() const { return cloneBlock(); }
+
+std::unique_ptr<Block> Block::cloneBlock() const {
+  std::vector<StmtPtr> stmts;
+  stmts.reserve(stmts_.size());
+  for (const StmtPtr& s : stmts_) stmts.push_back(s->clone());
+  auto out = std::make_unique<Block>(std::move(stmts));
+  out->label = label;
+  return out;
+}
+
+StmtPtr Assign::clone() const {
+  ExprPtr lhsExpr = lhs_->clone();
+  auto lhsRef = std::unique_ptr<VarRef>(static_cast<VarRef*>(lhsExpr.release()));
+  auto out = std::make_unique<Assign>(std::move(lhsRef), rhs_->clone());
+  out->label = label;
+  return out;
+}
+
+StmtPtr For::clone() const {
+  auto out = std::make_unique<For>(var_, lower_, upper_, body_->cloneBlock(),
+                                   step_);
+  out->label = label;
+  return out;
+}
+
+StmtPtr If::clone() const {
+  auto out = std::make_unique<If>(cond_->clone(), thenBody_->cloneBlock(),
+                                  elseBody_->cloneBlock());
+  out->label = label;
+  return out;
+}
+
+}  // namespace argo::ir

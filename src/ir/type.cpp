@@ -1,0 +1,30 @@
+#include "ir/type.h"
+
+namespace argo::ir {
+
+const char* scalarKindName(ScalarKind kind) noexcept {
+  switch (kind) {
+    case ScalarKind::Bool: return "bool";
+    case ScalarKind::Int32: return "i32";
+    case ScalarKind::Float64: return "f64";
+  }
+  return "?";
+}
+
+std::int64_t Type::elementCount() const noexcept {
+  std::int64_t count = 1;
+  for (int d : dims_) count *= d;
+  return count;
+}
+
+std::string Type::str() const {
+  std::string out = scalarKindName(kind_);
+  for (int d : dims_) {
+    out += '[';
+    out += std::to_string(d);
+    out += ']';
+  }
+  return out;
+}
+
+}  // namespace argo::ir

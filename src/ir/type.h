@@ -1,0 +1,75 @@
+// Types of the ARGO intermediate representation (IR).
+//
+// The ARGO IR is a C-subset: scalars (bool, 32-bit int, 64-bit float) and
+// dense rectangular arrays of scalars. This mirrors the paper's Section II-B:
+// Xcos/Scilab models are compiled to "an intermediate program representation
+// based on a subset of the C language". Rectangular static shapes are what
+// make the later WCET analysis (static loop bounds, static buffer sizes)
+// possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace argo::ir {
+
+/// Scalar element kinds supported by the IR.
+enum class ScalarKind : std::uint8_t { Bool, Int32, Float64 };
+
+/// Byte size of one element of the given scalar kind on the target.
+[[nodiscard]] constexpr int scalarByteSize(ScalarKind kind) noexcept {
+  switch (kind) {
+    case ScalarKind::Bool: return 1;
+    case ScalarKind::Int32: return 4;
+    case ScalarKind::Float64: return 8;
+  }
+  return 0;
+}
+
+[[nodiscard]] const char* scalarKindName(ScalarKind kind) noexcept;
+
+/// A scalar or dense rectangular array type.
+///
+/// Invariant: every dimension extent is >= 1. A scalar has no dimensions.
+class Type {
+ public:
+  Type() = default;
+
+  [[nodiscard]] static Type scalar(ScalarKind kind) { return Type(kind, {}); }
+  [[nodiscard]] static Type array(ScalarKind kind, std::vector<int> dims) {
+    return Type(kind, std::move(dims));
+  }
+  [[nodiscard]] static Type int32() { return scalar(ScalarKind::Int32); }
+  [[nodiscard]] static Type float64() { return scalar(ScalarKind::Float64); }
+  [[nodiscard]] static Type boolean() { return scalar(ScalarKind::Bool); }
+
+  [[nodiscard]] ScalarKind kind() const noexcept { return kind_; }
+  [[nodiscard]] const std::vector<int>& dims() const noexcept { return dims_; }
+  [[nodiscard]] bool isScalar() const noexcept { return dims_.empty(); }
+  [[nodiscard]] int rank() const noexcept {
+    return static_cast<int>(dims_.size());
+  }
+
+  /// Total number of scalar elements (1 for scalars).
+  [[nodiscard]] std::int64_t elementCount() const noexcept;
+
+  /// Total storage size in bytes on the target platform.
+  [[nodiscard]] std::int64_t byteSize() const noexcept {
+    return elementCount() * scalarByteSize(kind_);
+  }
+
+  /// Rendered as e.g. "f64", "i32[4][8]".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Type&, const Type&) = default;
+
+ private:
+  Type(ScalarKind kind, std::vector<int> dims)
+      : kind_(kind), dims_(std::move(dims)) {}
+
+  ScalarKind kind_ = ScalarKind::Float64;
+  std::vector<int> dims_;
+};
+
+}  // namespace argo::ir

@@ -1,0 +1,43 @@
+#include "model/block.h"
+
+namespace argo::model {
+
+namespace {
+
+void emitLoopNest(EmitContext& ctx, ir::Block& out, const ir::Type& type,
+                  std::size_t dim, std::vector<ir::ExprPtr>& indices,
+                  std::vector<std::string>& loopVars,
+                  const std::function<ir::StmtPtr(std::vector<ir::ExprPtr>)>&
+                      makeBody) {
+  if (dim == type.dims().size()) {
+    out.append(makeBody(cloneIndices(indices)));
+    return;
+  }
+  const std::string loopVar = ctx.uniqueName("i");
+  loopVars.push_back(loopVar);
+  auto body = ir::block();
+  indices.push_back(ir::var(loopVar));
+  emitLoopNest(ctx, *body, type, dim + 1, indices, loopVars, makeBody);
+  indices.pop_back();
+  out.append(ir::forLoop(loopVar, 0, type.dims()[dim], std::move(body)));
+  loopVars.pop_back();
+}
+
+}  // namespace
+
+void forEachElement(
+    EmitContext& ctx, ir::Block& out, const ir::Type& type,
+    const std::function<ir::StmtPtr(std::vector<ir::ExprPtr> idx)>& makeBody) {
+  std::vector<ir::ExprPtr> indices;
+  std::vector<std::string> loopVars;
+  emitLoopNest(ctx, out, type, 0, indices, loopVars, makeBody);
+}
+
+std::vector<ir::ExprPtr> cloneIndices(const std::vector<ir::ExprPtr>& idx) {
+  std::vector<ir::ExprPtr> out;
+  out.reserve(idx.size());
+  for (const ir::ExprPtr& e : idx) out.push_back(e->clone());
+  return out;
+}
+
+}  // namespace argo::model

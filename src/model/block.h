@@ -1,0 +1,88 @@
+// Dataflow block abstraction of the ARGO model front end.
+//
+// Applications are described as Xcos-style synchronous dataflow diagrams
+// (paper Section II-A). Each block consumes typed input signals and produces
+// typed output signals once per synchronous step. The diagram compiler
+// (model/diagram.h) assigns one IR variable per wire and asks each block to
+// emit the IR statements computing its outputs from its inputs.
+//
+// Stateful blocks (Delay, FIR, IIR) declare State variables and split their
+// emission into the step body (use state) and an epilogue (update state),
+// preserving synchronous semantics regardless of diagram evaluation order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/builder.h"
+#include "ir/function.h"
+
+namespace argo::model {
+
+/// Everything a block needs to emit its IR.
+struct EmitContext {
+  ir::Function& fn;
+  /// Statements computing this step, appended in dataflow order.
+  ir::Block& body;
+  /// State-update statements executed after every block's body statements.
+  ir::Block& epilogue;
+  /// IR variable name carrying each input port's signal.
+  std::vector<std::string> inputs;
+  /// IR variable name carrying each output port's signal (already declared).
+  std::vector<std::string> outputs;
+  /// Produces a function-unique identifier derived from `hint` (for loop
+  /// variables, temporaries and state variables).
+  std::function<std::string(const std::string& hint)> uniqueName;
+  /// Declares a block-owned constant (e.g. a filter kernel or lookup
+  /// table): a read-only variable whose initial values are recorded in the
+  /// compiled model's constant table. Returns the variable name.
+  std::function<std::string(const std::string& hint, ir::Type type,
+                            std::vector<double> values)>
+      declareConst;
+};
+
+/// Base class of all diagram blocks.
+class Block {
+ public:
+  explicit Block(std::string name) : name_(std::move(name)) {}
+  virtual ~Block() = default;
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  [[nodiscard]] virtual int inputCount() const = 0;
+  [[nodiscard]] virtual int outputCount() const = 0;
+
+  /// Computes output port types from input port types. Must throw
+  /// support::ToolchainError (with the block name in the message) on
+  /// type/shape mismatches.
+  [[nodiscard]] virtual std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const = 0;
+
+  /// Emits IR statements into ctx.body (and ctx.epilogue for state
+  /// updates). Called once, in dataflow order.
+  virtual void emit(EmitContext& ctx) const = 0;
+
+  /// True for blocks whose outputs do not depend on the same-step inputs
+  /// (Delay-like blocks). Such blocks legally break feedback cycles.
+  [[nodiscard]] virtual bool breaksCycle() const { return false; }
+
+ private:
+  std::string name_;
+};
+
+/// Emits a loop nest iterating over every element of `type`, invoking
+/// `makeBody` with the index expressions, and appends it to `out`.
+/// For scalars, `makeBody` is invoked once with no indices.
+void forEachElement(
+    EmitContext& ctx, ir::Block& out, const ir::Type& type,
+    const std::function<ir::StmtPtr(std::vector<ir::ExprPtr> idx)>& makeBody);
+
+/// Clones an index expression vector.
+[[nodiscard]] std::vector<ir::ExprPtr> cloneIndices(
+    const std::vector<ir::ExprPtr>& idx);
+
+}  // namespace argo::model

@@ -1,0 +1,300 @@
+// The ARGO block library.
+//
+// A pragmatic subset of the Xcos palette, sufficient for the three use-case
+// applications plus generic signal processing: sources/sinks, arithmetic,
+// nonlinear, lookup, signal routing, filters (FIR/IIR), linear algebra and
+// image processing blocks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/block.h"
+
+namespace argo::model {
+
+/// Diagram input: produces the signal of one function Input variable.
+class InputBlock final : public Block {
+ public:
+  InputBlock(std::string name, ir::Type type)
+      : Block(std::move(name)), type_(std::move(type)) {}
+  [[nodiscard]] int inputCount() const override { return 0; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+  [[nodiscard]] const ir::Type& type() const noexcept { return type_; }
+
+ private:
+  ir::Type type_;
+};
+
+/// Diagram output: copies its input signal into a function Output variable.
+class OutputBlock final : public Block {
+ public:
+  explicit OutputBlock(std::string name) : Block(std::move(name)) {}
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 0; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+};
+
+/// Constant source (scalar or array).
+class ConstBlock final : public Block {
+ public:
+  ConstBlock(std::string name, ir::Type type, std::vector<double> values);
+  [[nodiscard]] int inputCount() const override { return 0; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+
+ private:
+  ir::Type type_;
+  std::vector<double> values_;
+};
+
+/// y = gain * u, element-wise.
+class GainBlock final : public Block {
+ public:
+  GainBlock(std::string name, double gain)
+      : Block(std::move(name)), gain_(gain) {}
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  double gain_;
+};
+
+/// y = sum_k sign_k * u_k, element-wise over identically-shaped inputs.
+class SumBlock final : public Block {
+ public:
+  SumBlock(std::string name, std::vector<int> signs);
+  [[nodiscard]] int inputCount() const override {
+    return static_cast<int>(signs_.size());
+  }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  std::vector<int> signs_;
+};
+
+/// y = prod_k u_k element-wise.
+class ProductBlock final : public Block {
+ public:
+  ProductBlock(std::string name, int inputs)
+      : Block(std::move(name)), inputs_(inputs) {}
+  [[nodiscard]] int inputCount() const override { return inputs_; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  int inputs_;
+};
+
+/// Unit delay: y[n] = u[n-1]; initial value 0. Breaks feedback cycles.
+///
+/// When used inside a feedback loop, the signal type cannot be inferred
+/// from the (not-yet-typed) input, so the type must be declared explicitly
+/// with the two-argument constructor.
+class DelayBlock final : public Block {
+ public:
+  explicit DelayBlock(std::string name) : Block(std::move(name)) {}
+  DelayBlock(std::string name, ir::Type declaredType)
+      : Block(std::move(name)), declaredType_(std::move(declaredType)) {}
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] bool breaksCycle() const override { return true; }
+  [[nodiscard]] const std::optional<ir::Type>& declaredType() const noexcept {
+    return declaredType_;
+  }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  std::optional<ir::Type> declaredType_;
+};
+
+/// y = clamp(u, lo, hi) element-wise.
+class SaturateBlock final : public Block {
+ public:
+  SaturateBlock(std::string name, double lo, double hi)
+      : Block(std::move(name)), lo_(lo), hi_(hi) {}
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Element-wise unary math: kind in {Abs, Sqrt, Exp, Log, Sin, Cos, Atan}.
+class MathBlock final : public Block {
+ public:
+  MathBlock(std::string name, ir::UnOpKind op)
+      : Block(std::move(name)), op_(op) {}
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  ir::UnOpKind op_;
+};
+
+/// y = atan2(u0, u1) element-wise.
+class Atan2Block final : public Block {
+ public:
+  explicit Atan2Block(std::string name) : Block(std::move(name)) {}
+  [[nodiscard]] int inputCount() const override { return 2; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+};
+
+/// y = (u0 OP u1) as 0/1 float, element-wise.
+class RelationalBlock final : public Block {
+ public:
+  RelationalBlock(std::string name, ir::BinOpKind op)
+      : Block(std::move(name)), op_(op) {}
+  [[nodiscard]] int inputCount() const override { return 2; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  ir::BinOpKind op_;
+};
+
+/// y = u0 >= threshold ? u1 : u2, element-wise (Xcos SWITCH2 semantics).
+class SwitchBlock final : public Block {
+ public:
+  SwitchBlock(std::string name, double threshold)
+      : Block(std::move(name)), threshold_(threshold) {}
+  [[nodiscard]] int inputCount() const override { return 3; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  double threshold_;
+};
+
+/// Reduction over all elements of the input: Sum, Min or Max -> scalar.
+class ReduceBlock final : public Block {
+ public:
+  enum class Op { Sum, Min, Max };
+  ReduceBlock(std::string name, Op op) : Block(std::move(name)), op_(op) {}
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  Op op_;
+};
+
+/// FIR filter on a scalar stream: y = sum_k coeff[k] * u[n-k].
+class FirBlock final : public Block {
+ public:
+  FirBlock(std::string name, std::vector<double> coeffs);
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  std::vector<double> coeffs_;
+};
+
+/// Biquad IIR section on a scalar stream (direct form II transposed).
+class BiquadBlock final : public Block {
+ public:
+  BiquadBlock(std::string name, double b0, double b1, double b2, double a1,
+              double a2)
+      : Block(std::move(name)), b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  double b0_, b1_, b2_, a1_, a2_;
+};
+
+/// y[m] = sum_k A[m][k] * u[k] with a constant matrix A (m x k).
+class MatVecBlock final : public Block {
+ public:
+  MatVecBlock(std::string name, int rows, int cols, std::vector<double> matrix);
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> matrix_;
+};
+
+/// 2D convolution with a constant kernel, zero padding ("same" size).
+class Conv2dBlock final : public Block {
+ public:
+  Conv2dBlock(std::string name, int kernelH, int kernelW,
+              std::vector<double> kernel);
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  int kernelH_;
+  int kernelW_;
+  std::vector<double> kernel_;
+};
+
+/// Uniform-grid 1D lookup table with linear interpolation and clamping.
+/// Table value k corresponds to x0 + k*dx. O(1) per sample — WCET friendly.
+class Lookup1dBlock final : public Block {
+ public:
+  Lookup1dBlock(std::string name, double x0, double dx,
+                std::vector<double> table);
+  [[nodiscard]] int inputCount() const override { return 1; }
+  [[nodiscard]] int outputCount() const override { return 1; }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  double x0_;
+  double dx_;
+  std::vector<double> table_;
+};
+
+}  // namespace argo::model

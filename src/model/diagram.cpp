@@ -1,0 +1,297 @@
+#include "model/diagram.h"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <set>
+
+#include "model/blocks.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace argo::model {
+
+using support::ToolchainError;
+
+ir::Environment CompiledModel::makeEnvironment() const {
+  ir::Environment env = ir::makeZeroEnvironment(*fn);
+  for (const auto& [name, value] : constants) env[name] = value;
+  return env;
+}
+
+BlockId Diagram::add(std::unique_ptr<Block> block) {
+  blocks_.push_back(std::move(block));
+  return BlockId{static_cast<int>(blocks_.size()) - 1};
+}
+
+void Diagram::connect(BlockId src, int srcPort, BlockId dst, int dstPort) {
+  auto checkId = [&](BlockId id) {
+    if (id.value < 0 || id.value >= blockCount()) {
+      throw ToolchainError("diagram '" + name_ + "': invalid block id");
+    }
+  };
+  checkId(src);
+  checkId(dst);
+  const Block& srcBlock = block(src);
+  const Block& dstBlock = block(dst);
+  if (srcPort < 0 || srcPort >= srcBlock.outputCount()) {
+    throw ToolchainError("diagram '" + name_ + "': block '" + srcBlock.name() +
+                         "' has no output port " + std::to_string(srcPort));
+  }
+  if (dstPort < 0 || dstPort >= dstBlock.inputCount()) {
+    throw ToolchainError("diagram '" + name_ + "': block '" + dstBlock.name() +
+                         "' has no input port " + std::to_string(dstPort));
+  }
+  for (const Wire& w : wires_) {
+    if (w.dst == dst && w.dstPort == dstPort) {
+      throw ToolchainError("diagram '" + name_ + "': input port " +
+                           std::to_string(dstPort) + " of '" + dstBlock.name() +
+                           "' already driven");
+    }
+  }
+  wires_.push_back(Wire{src, srcPort, dst, dstPort});
+}
+
+namespace {
+
+std::string sanitizeIdentifier(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front()))) {
+    out = "v_" + out;
+  }
+  return out;
+}
+
+}  // namespace
+
+CompiledModel Diagram::compile() const {
+  const int n = blockCount();
+  if (n == 0) throw ToolchainError("diagram '" + name_ + "' is empty");
+
+  // ---- 1. Connectivity: each input port driven exactly once. ----
+  // inputWire[block][port] = wire index
+  std::vector<std::vector<int>> inputWire(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    inputWire[static_cast<std::size_t>(b)].assign(
+        static_cast<std::size_t>(blocks_[static_cast<std::size_t>(b)]
+                                     ->inputCount()),
+        -1);
+  }
+  for (std::size_t w = 0; w < wires_.size(); ++w) {
+    const Wire& wire = wires_[w];
+    inputWire[static_cast<std::size_t>(wire.dst.value)]
+             [static_cast<std::size_t>(wire.dstPort)] = static_cast<int>(w);
+  }
+  for (int b = 0; b < n; ++b) {
+    const Block& blk = *blocks_[static_cast<std::size_t>(b)];
+    for (int p = 0; p < blk.inputCount(); ++p) {
+      if (inputWire[static_cast<std::size_t>(b)][static_cast<std::size_t>(p)] <
+          0) {
+        throw ToolchainError("diagram '" + name_ + "': input port " +
+                             std::to_string(p) + " of '" + blk.name() +
+                             "' is unconnected");
+      }
+    }
+  }
+
+  // ---- 2. Type inference to a fixpoint. ----
+  std::vector<std::optional<std::vector<ir::Type>>> outTypes(
+      static_cast<std::size_t>(n));
+  // Cycle-breaking blocks with a declared type act as sources.
+  for (int b = 0; b < n; ++b) {
+    const Block& blk = *blocks_[static_cast<std::size_t>(b)];
+    if (const auto* delay = dynamic_cast<const DelayBlock*>(&blk);
+        delay != nullptr && delay->declaredType().has_value()) {
+      outTypes[static_cast<std::size_t>(b)] = {*delay->declaredType()};
+    }
+  }
+  auto inputTypesOf = [&](int b) -> std::optional<std::vector<ir::Type>> {
+    const Block& blk = *blocks_[static_cast<std::size_t>(b)];
+    std::vector<ir::Type> types;
+    types.reserve(static_cast<std::size_t>(blk.inputCount()));
+    for (int p = 0; p < blk.inputCount(); ++p) {
+      const Wire& wire = wires_[static_cast<std::size_t>(
+          inputWire[static_cast<std::size_t>(b)][static_cast<std::size_t>(p)])];
+      const auto& srcTypes = outTypes[static_cast<std::size_t>(wire.src.value)];
+      if (!srcTypes.has_value()) return std::nullopt;
+      types.push_back((*srcTypes)[static_cast<std::size_t>(wire.srcPort)]);
+    }
+    return types;
+  };
+  bool progress = true;
+  std::vector<bool> typed(static_cast<std::size_t>(n), false);
+  while (progress) {
+    progress = false;
+    for (int b = 0; b < n; ++b) {
+      if (typed[static_cast<std::size_t>(b)]) continue;
+      const auto inputs = inputTypesOf(b);
+      if (!inputs.has_value()) continue;
+      const Block& blk = *blocks_[static_cast<std::size_t>(b)];
+      outTypes[static_cast<std::size_t>(b)] = blk.inferTypes(*inputs);
+      typed[static_cast<std::size_t>(b)] = true;
+      progress = true;
+    }
+  }
+  for (int b = 0; b < n; ++b) {
+    if (!typed[static_cast<std::size_t>(b)] &&
+        !outTypes[static_cast<std::size_t>(b)].has_value()) {
+      throw ToolchainError(
+          "diagram '" + name_ + "': cannot type block '" +
+          blocks_[static_cast<std::size_t>(b)]->name() +
+          "' (feedback loop without a typed Delay?)");
+    }
+  }
+
+  // ---- 3. Dataflow order (algebraic-loop detection). ----
+  // Wires into cycle-breaking blocks do not constrain emission order.
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(n));
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  for (const Wire& wire : wires_) {
+    if (blocks_[static_cast<std::size_t>(wire.dst.value)]->breaksCycle()) {
+      continue;
+    }
+    succ[static_cast<std::size_t>(wire.src.value)].push_back(wire.dst.value);
+    ++indegree[static_cast<std::size_t>(wire.dst.value)];
+  }
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<int> ready;
+  for (int b = 0; b < n; ++b) {
+    if (indegree[static_cast<std::size_t>(b)] == 0) ready.push_back(b);
+  }
+  // Deterministic order: lowest id first.
+  std::sort(ready.begin(), ready.end(), std::greater<int>());
+  while (!ready.empty()) {
+    const int b = ready.back();
+    ready.pop_back();
+    order.push_back(b);
+    for (int s : succ[static_cast<std::size_t>(b)]) {
+      if (--indegree[static_cast<std::size_t>(s)] == 0) {
+        ready.push_back(s);
+        std::sort(ready.begin(), ready.end(), std::greater<int>());
+      }
+    }
+  }
+  if (static_cast<int>(order.size()) != n) {
+    throw ToolchainError("diagram '" + name_ +
+                         "': algebraic loop (cycle without a Delay block)");
+  }
+
+  // ---- 4. Emission. ----
+  CompiledModel model;
+  model.fn = std::make_unique<ir::Function>(sanitizeIdentifier(name_));
+  ir::Function& fn = *model.fn;
+  std::set<std::string> usedNames;
+  auto uniqueName = [&](const std::string& hint) {
+    std::string base = sanitizeIdentifier(hint);
+    std::string candidate = base;
+    int counter = 2;
+    while (usedNames.contains(candidate)) {
+      candidate = base + "_" + std::to_string(counter++);
+    }
+    usedNames.insert(candidate);
+    return candidate;
+  };
+
+  ir::Block& body = fn.body();
+  auto epilogue = ir::block();
+
+  // Wire variables, assigned lazily per (block, outPort).
+  std::vector<std::vector<std::string>> wireVar(static_cast<std::size_t>(n));
+  for (int b = 0; b < n; ++b) {
+    wireVar[static_cast<std::size_t>(b)].assign(
+        static_cast<std::size_t>(
+            blocks_[static_cast<std::size_t>(b)]->outputCount()),
+        "");
+  }
+
+  EmitContext ctx{fn, body, *epilogue, {}, {}, uniqueName, {}};
+  ctx.declareConst = [&](const std::string& hint, ir::Type type,
+                         std::vector<double> values) {
+    const std::string name = uniqueName(hint);
+    fn.declare(name, type, ir::VarRole::Const);
+    model.constants.emplace(name,
+                            ir::Value::floats(type, std::move(values)));
+    return name;
+  };
+
+  // Declare wire variables up-front so later blocks can resolve inputs.
+  for (int b = 0; b < n; ++b) {
+    const Block& blk = *blocks_[static_cast<std::size_t>(b)];
+    const auto& types = *outTypes[static_cast<std::size_t>(b)];
+    for (int p = 0; p < blk.outputCount(); ++p) {
+      const ir::Type& type = types[static_cast<std::size_t>(p)];
+      std::string varName;
+      if (dynamic_cast<const InputBlock*>(&blk) != nullptr) {
+        varName = uniqueName(blk.name());
+        fn.declare(varName, type, ir::VarRole::Input);
+      } else if (const auto* cst = dynamic_cast<const ConstBlock*>(&blk);
+                 cst != nullptr && !type.isScalar()) {
+        // Array constants alias read-only data; scalar constants are
+        // computed per step (cheap, keeps expressions foldable).
+        varName = ctx.declareConst(blk.name(), type, [&] {
+          // The values live in the block; re-infer through emit would be
+          // awkward, so reach into it directly.
+          return cst->values();
+        }());
+      } else {
+        varName = uniqueName(blk.name() +
+                             (blk.outputCount() > 1 ? "_o" + std::to_string(p)
+                                                    : ""));
+        fn.declare(varName, type, ir::VarRole::Temp);
+      }
+      wireVar[static_cast<std::size_t>(b)][static_cast<std::size_t>(p)] =
+          varName;
+    }
+  }
+
+  for (int b : order) {
+    const Block& blk = *blocks_[static_cast<std::size_t>(b)];
+    ctx.inputs.clear();
+    ctx.outputs.clear();
+    for (int p = 0; p < blk.inputCount(); ++p) {
+      const Wire& wire = wires_[static_cast<std::size_t>(
+          inputWire[static_cast<std::size_t>(b)][static_cast<std::size_t>(p)])];
+      ctx.inputs.push_back(
+          wireVar[static_cast<std::size_t>(wire.src.value)]
+                 [static_cast<std::size_t>(wire.srcPort)]);
+    }
+    if (dynamic_cast<const OutputBlock*>(&blk) != nullptr) {
+      const std::string outName = uniqueName(blk.name());
+      fn.declare(outName, fn.lookup(ctx.inputs[0]).type, ir::VarRole::Output);
+      ctx.outputs.push_back(outName);
+    } else {
+      for (int p = 0; p < blk.outputCount(); ++p) {
+        ctx.outputs.push_back(
+            wireVar[static_cast<std::size_t>(b)][static_cast<std::size_t>(p)]);
+      }
+    }
+    const std::size_t bodyBefore = body.stmts().size();
+    const std::size_t epiBefore = epilogue->stmts().size();
+    blk.emit(ctx);
+    for (std::size_t s = bodyBefore; s < body.stmts().size(); ++s) {
+      if (body.stmts()[s]->label.empty()) body.stmts()[s]->label = blk.name();
+    }
+    for (std::size_t s = epiBefore; s < epilogue->stmts().size(); ++s) {
+      if (epilogue->stmts()[s]->label.empty()) {
+        epilogue->stmts()[s]->label = blk.name() + "_update";
+      }
+    }
+  }
+
+  // State updates execute after every block's step computation.
+  for (ir::StmtPtr& s : epilogue->stmts()) body.append(std::move(s));
+
+  const std::vector<std::string> problems = ir::validate(fn);
+  if (!problems.empty()) {
+    throw ToolchainError("diagram '" + name_ + "' compiled to invalid IR: " +
+                         support::join(problems, "; "));
+  }
+  return model;
+}
+
+}  // namespace argo::model

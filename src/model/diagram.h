@@ -1,0 +1,90 @@
+// Dataflow diagrams and their compilation to IR.
+//
+// A Diagram is a set of blocks plus wires. compile() performs:
+//   1. connectivity checking (every input port driven exactly once),
+//   2. type inference to a fixpoint (Delay blocks with a declared type act
+//      as sources, making feedback loops well-typed),
+//   3. algebraic-loop detection (cycles not broken by a Delay are errors),
+//   4. IR emission in dataflow order, one variable per wire, with all block
+//      state updates gathered in an epilogue to preserve synchronous
+//      semantics,
+// and yields a CompiledModel: the IR step function plus the constant table
+// (initial values of Const-role variables such as filter kernels).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/evaluator.h"
+#include "model/block.h"
+
+namespace argo::model {
+
+/// Handle to a block inside a diagram.
+struct BlockId {
+  int value = -1;
+  friend bool operator==(const BlockId&, const BlockId&) = default;
+};
+
+/// The result of compiling a diagram.
+struct CompiledModel {
+  std::unique_ptr<ir::Function> fn;
+  /// Initial values for VarRole::Const variables (lookup tables, kernels).
+  ir::Environment constants;
+
+  /// Convenience: environment pre-populated with the constant table and
+  /// zero-valued inputs/states.
+  [[nodiscard]] ir::Environment makeEnvironment() const;
+};
+
+/// A synchronous dataflow diagram.
+class Diagram {
+ public:
+  explicit Diagram(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Adds a block; the diagram takes ownership.
+  BlockId add(std::unique_ptr<Block> block);
+
+  /// Convenience: construct and add.
+  template <typename B, typename... Args>
+  BlockId add(Args&&... args) {
+    return add(std::make_unique<B>(std::forward<Args>(args)...));
+  }
+
+  /// Connects output port `srcPort` of `src` to input port `dstPort` of
+  /// `dst`. Fan-out is allowed; each input port accepts exactly one wire.
+  void connect(BlockId src, int srcPort, BlockId dst, int dstPort);
+
+  /// Shorthand for single-output -> single-input connections.
+  void connect(BlockId src, BlockId dst, int dstPort = 0) {
+    connect(src, 0, dst, dstPort);
+  }
+
+  [[nodiscard]] int blockCount() const noexcept {
+    return static_cast<int>(blocks_.size());
+  }
+  [[nodiscard]] const Block& block(BlockId id) const {
+    return *blocks_.at(static_cast<std::size_t>(id.value));
+  }
+
+  /// Compiles the diagram to IR. Throws support::ToolchainError on
+  /// malformed diagrams (unconnected ports, type errors, algebraic loops).
+  [[nodiscard]] CompiledModel compile() const;
+
+ private:
+  struct Wire {
+    BlockId src;
+    int srcPort = 0;
+    BlockId dst;
+    int dstPort = 0;
+  };
+
+  std::string name_;
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<Wire> wires_;
+};
+
+}  // namespace argo::model

@@ -1,0 +1,82 @@
+// Scilab-subset front end.
+//
+// The paper (Section II-A): "the behavior of all Xcos components used in
+// ARGO is also described in the Scilab language". This module implements a
+// WCET-analyzable Scilab subset and compiles it directly to the ARGO IR:
+//
+//   * assignments:        y = a*x + 1;   m(i,j) = u(i) * 2
+//   * counted loops:      for i = 1:16 ... end        (constant bounds)
+//   * conditionals:       if u > 0 then ... else ... end
+//   * local declarations: local tmp; local buf(8); local img(16,16)
+//   * math intrinsics:    sin cos tan atan exp log sqrt abs floor
+//                         atan2 pow hypot fmod min max
+//   * operators:          + - * / ^  == ~= < <= > >=  & | ~
+//
+// Scilab semantics preserved: 1-based indexing (converted to the IR's
+// 0-based form), inclusive for-ranges, '~' for logical not, '~=' for not
+// equal. Restrictions for analyzability: loop bounds must be compile-time
+// constants, no while/break, no dynamic allocation — the same restrictions
+// the real ARGO front end imposes on real-time code.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "model/block.h"
+
+namespace argo::model::scilab {
+
+/// A named, typed port of a ScilabBlock.
+struct PortSpec {
+  std::string name;
+  ir::Type type;
+};
+
+/// Result of parsing a script: the statement tree plus the local variables
+/// it declared (explicitly via `local` or implicitly by scalar assignment).
+struct ParsedScript {
+  std::unique_ptr<ir::Block> body;
+  std::vector<ir::VarDecl> locals;
+};
+
+/// Parses `source` against the given port environment (name -> type).
+/// Throws support::ToolchainError with a line number on syntax/type errors.
+[[nodiscard]] ParsedScript parseScript(
+    const std::string& source, const std::map<std::string, ir::Type>& ports);
+
+}  // namespace argo::model::scilab
+
+namespace argo::model {
+
+/// A user-defined block whose behaviour is a Scilab-subset script.
+///
+/// The script reads input port names and assigns output port names; locals
+/// are private per instantiation. The script is parsed at construction
+/// (fail fast) and inlined into the diagram function at emission with all
+/// names made unique.
+class ScilabBlock final : public Block {
+ public:
+  ScilabBlock(std::string name, std::string source,
+              std::vector<scilab::PortSpec> inputs,
+              std::vector<scilab::PortSpec> outputs);
+
+  [[nodiscard]] int inputCount() const override {
+    return static_cast<int>(inputs_.size());
+  }
+  [[nodiscard]] int outputCount() const override {
+    return static_cast<int>(outputs_.size());
+  }
+  [[nodiscard]] std::vector<ir::Type> inferTypes(
+      const std::vector<ir::Type>& inputs) const override;
+  void emit(EmitContext& ctx) const override;
+
+ private:
+  std::vector<scilab::PortSpec> inputs_;
+  std::vector<scilab::PortSpec> outputs_;
+  scilab::ParsedScript script_;
+};
+
+}  // namespace argo::model

@@ -1,0 +1,90 @@
+// WCET-aware scheduling and mapping policies.
+//
+// Paper Section III-C: the mapping problem is NP-hard; ARGO explores "an
+// approach using a combination of exact techniques and advanced
+// heuristics". This module provides:
+//
+//  * Heft                — WCET-aware list scheduling (upward-rank priority,
+//                          earliest-finish-time placement). The workhorse.
+//  * BranchAndBound      — exact makespan-optimal search over append-only
+//                          schedules for small graphs (the "exact
+//                          technique"; exponential, guarded by limits).
+//  * Annealed            — HEFT seed refined by simulated annealing over
+//                          tile assignments (the "advanced heuristic").
+//  * ContentionOblivious — average-case-style baseline: identical HEFT
+//                          machinery but blind to shared-resource
+//                          interference (models the parMERASA-style
+//                          manually parallelized comparison of Section
+//                          III-C). Used by bench_interference.
+//
+// When `interferenceAware` is set, every task's cost during scheduling is
+// inflated by a contention estimate — sharedAccesses x (worst-case access
+// under k live contenders - uncontended access) — so the scheduler prefers
+// placements that keep the number of simultaneous contenders low, the
+// paper's central idea ("At any point in time, all shared resource
+// contenders are known and their number is reduced during parallelization").
+#pragma once
+
+#include <cstdint>
+
+#include "sched/schedule.h"
+
+namespace argo::sched {
+
+/// Scheduling policy selector.
+enum class Policy : std::uint8_t {
+  Heft,
+  BranchAndBound,
+  Annealed,
+  ContentionOblivious,
+};
+
+[[nodiscard]] const char* policyName(Policy policy) noexcept;
+
+struct SchedOptions {
+  Policy policy = Policy::Heft;
+  /// Include interference estimates in the scheduling objective.
+  bool interferenceAware = true;
+  /// Restrict scheduling to the first `coreLimit` tiles (<=0: all).
+  int coreLimit = 0;
+  /// Branch-and-bound: maximum tasks (falls back to HEFT beyond this) and
+  /// search-node budget.
+  int bnbTaskLimit = 14;
+  std::int64_t bnbNodeBudget = 2'000'000;
+  /// Simulated annealing parameters.
+  int saIterations = 4000;
+  double saInitialTemp = 0.20;  ///< Fraction of seed makespan.
+  std::uint64_t seed = 1;
+};
+
+/// Facade over all policies.
+class Scheduler {
+ public:
+  Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform);
+
+  [[nodiscard]] Schedule run(const SchedOptions& options) const;
+
+  [[nodiscard]] const std::vector<TaskTiming>& timings() const noexcept {
+    return timings_;
+  }
+
+ private:
+  [[nodiscard]] Schedule runHeft(const SchedOptions& options,
+                                 bool interferenceAware) const;
+  [[nodiscard]] Schedule runBnB(const SchedOptions& options) const;
+  [[nodiscard]] Schedule runAnnealed(const SchedOptions& options) const;
+
+  /// List-schedules with a fixed tile assignment (used by annealing).
+  [[nodiscard]] Schedule scheduleWithAssignment(
+      const std::vector<int>& tileOf, const SchedOptions& options) const;
+
+  [[nodiscard]] int effectiveCores(const SchedOptions& options) const;
+
+  const htg::TaskGraph& graph_;
+  const adl::Platform& platform_;
+  std::vector<TaskTiming> timings_;
+  std::vector<std::vector<int>> succ_;
+  std::vector<std::vector<int>> pred_;
+};
+
+}  // namespace argo::sched

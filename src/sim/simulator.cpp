@@ -1,0 +1,228 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/diagnostics.h"
+
+namespace argo::sim {
+
+using support::ToolchainError;
+
+Cycles nonSharedCost(const ir::CountingMeter& meter,
+                     const adl::CoreModel& core) {
+  Cycles total = 0;
+  for (int c = 0; c < ir::kOpClassCount; ++c) {
+    const auto op = static_cast<ir::OpClass>(c);
+    total += meter.ops()[op] * core.cyclesFor(op);
+  }
+  total += (meter.reads(ir::Storage::Local) + meter.writes(ir::Storage::Local)) *
+           core.localAccessCycles;
+  total += (meter.reads(ir::Storage::Scratchpad) +
+            meter.writes(ir::Storage::Scratchpad)) *
+           core.spmAccessCycles;
+  return total;
+}
+
+namespace {
+
+/// Interconnect arbitration state shared by all cores during one step.
+class Arbiter {
+ public:
+  explicit Arbiter(const adl::Platform& platform) : platform_(platform) {}
+
+  /// Simulates one shared-memory access issued by `tile` at time `ready`.
+  /// Returns the completion time (updates internal state).
+  Cycles access(int tile, Cycles ready) {
+    if (platform_.isBus()) {
+      const adl::BusModel& bus = platform_.bus();
+      if (bus.arbitration == adl::Arbitration::Tdma) {
+        // The core may only start in its own slot; the access must fit the
+        // slot, so it starts at the next slot boundary it owns.
+        const Cycles wheel =
+            static_cast<Cycles>(platform_.coreCount()) * bus.slotCycles;
+        const Cycles slotStart = static_cast<Cycles>(tile) * bus.slotCycles;
+        Cycles cycleBase = (ready / wheel) * wheel + slotStart;
+        if (cycleBase < ready) cycleBase += wheel;
+        return cycleBase + bus.baseAccessCycles;
+      }
+      // Round-robin approximated as FCFS; every core has at most one
+      // outstanding access, so waiting stays within the analytical bound.
+      const Cycles grant = std::max(ready, busFree_);
+      busFree_ = grant + bus.baseAccessCycles;
+      return busFree_;
+    }
+    const adl::NocModel& noc = platform_.noc();
+    const Cycles hop =
+        static_cast<Cycles>(noc.hopDistance(tile, noc.memTile)) *
+        (noc.routerCycles + noc.linkCycles);
+    const Cycles arrival = ready + hop;
+    const Cycles grant = std::max(arrival, memFree_);
+    memFree_ = grant + noc.memAccessCycles;
+    return memFree_ + hop;  // response routes back
+  }
+
+ private:
+  const adl::Platform& platform_;
+  Cycles busFree_ = 0;
+  Cycles memFree_ = 0;
+};
+
+/// Per-core execution cursor.
+struct CoreCursor {
+  int tile = 0;
+  std::size_t opIndex = 0;
+  Cycles time = 0;
+  bool done = false;
+
+  // State of the Execute op in progress (split into access rounds).
+  bool inTask = false;
+  int task = -1;
+  Cycles segment = 0;        // compute cycles between accesses
+  Cycles finalSegment = 0;   // remainder after the last access
+  std::int64_t accessesLeft = 0;
+};
+
+}  // namespace
+
+Simulator::Simulator(const par::ParallelProgram& program,
+                     const adl::Platform& platform)
+    : program_(program), platform_(platform) {}
+
+StepResult Simulator::step(ir::Environment& env) const {
+  const std::size_t taskCount = program_.graph->tasks.size();
+  StepResult result;
+  result.tasks.assign(taskCount, TaskTrace{});
+
+  Arbiter arbiter(platform_);
+  std::vector<CoreCursor> cores(program_.cores.size());
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    cores[c].tile = program_.cores[c].tile;
+    cores[c].done = program_.cores[c].ops.empty();
+  }
+  // Event availability time; min() when not yet signalled.
+  std::vector<Cycles> eventAvail(program_.events.size(),
+                                 std::numeric_limits<Cycles>::min());
+
+  const ir::Evaluator evaluator(*program_.graph->fn);
+
+  // Effective time at which a core can perform its next action, or nullopt
+  // when blocked on an unsignalled event.
+  auto effectiveTime = [&](const CoreCursor& core) -> std::optional<Cycles> {
+    if (core.done) return std::nullopt;
+    if (core.inTask) return core.time;
+    const par::ParOp& op = program_.cores[static_cast<std::size_t>(
+        &core - cores.data())].ops[core.opIndex];
+    if (op.kind == par::OpKind::Wait) {
+      const Cycles avail = eventAvail[static_cast<std::size_t>(op.event)];
+      if (avail == std::numeric_limits<Cycles>::min()) return std::nullopt;
+      return std::max(core.time, avail);
+    }
+    return core.time;
+  };
+
+  auto advance = [&](CoreCursor& core) {
+    const par::CoreProgram& prog =
+        program_.cores[static_cast<std::size_t>(&core - cores.data())];
+
+    if (core.inTask) {
+      // One access round: compute segment, then an arbitrated access.
+      core.time += core.segment;
+      const Cycles before = core.time;
+      core.time = arbiter.access(core.tile, core.time);
+      auto& trace = result.tasks[static_cast<std::size_t>(core.task)];
+      trace.stall += std::max<Cycles>(
+          0, (core.time - before) - platform_.sharedAccessBase(core.tile));
+      trace.sharedAccesses += 1;
+      result.totalSharedAccesses += 1;
+      if (--core.accessesLeft == 0) {
+        core.time += core.finalSegment;
+        trace.finish = core.time;
+        core.inTask = false;
+        ++core.opIndex;
+        core.done = core.opIndex >= prog.ops.size();
+      }
+      return;
+    }
+
+    const par::ParOp& op = prog.ops[core.opIndex];
+    switch (op.kind) {
+      case par::OpKind::Wait: {
+        const Cycles avail = eventAvail[static_cast<std::size_t>(op.event)];
+        core.time = std::max(core.time, avail);
+        // Successful poll: one arbitrated flag access.
+        core.time = arbiter.access(core.tile, core.time);
+        ++core.opIndex;
+        break;
+      }
+      case par::OpKind::Signal: {
+        // Flag write, then the payload becomes visible after the actual
+        // (uncontended) transfer latency.
+        core.time = arbiter.access(core.tile, core.time);
+        const par::Event& event = program_.event(op.event);
+        const Cycles transfer = platform_.transferWorstCase(
+            event.bytes, event.producerTile, event.consumerTile,
+            /*contenders=*/1);
+        eventAvail[static_cast<std::size_t>(op.event)] = core.time + transfer;
+        ++core.opIndex;
+        break;
+      }
+      case par::OpKind::Execute: {
+        const htg::Task& task =
+            program_.graph->tasks[static_cast<std::size_t>(op.task)];
+        ir::CountingMeter meter;
+        for (const ir::StmtPtr& s : task.stmts) {
+          evaluator.runStmt(*s, env, &meter);
+        }
+        const Cycles compute =
+            nonSharedCost(meter, platform_.tile(core.tile).core);
+        const std::int64_t accesses = meter.reads(ir::Storage::Shared) +
+                                      meter.writes(ir::Storage::Shared);
+        auto& trace = result.tasks[static_cast<std::size_t>(op.task)];
+        trace.start = core.time;
+        if (accesses == 0) {
+          core.time += compute;
+          trace.finish = core.time;
+          ++core.opIndex;
+        } else {
+          core.task = op.task;
+          core.segment = compute / (accesses + 1);
+          core.finalSegment =
+              compute - core.segment * accesses;  // includes remainder
+          core.accessesLeft = accesses;
+          core.inTask = true;
+        }
+        break;
+      }
+    }
+    core.done = !core.inTask && core.opIndex >= prog.ops.size();
+  };
+
+  while (true) {
+    int next = -1;
+    Cycles best = std::numeric_limits<Cycles>::max();
+    bool anyPending = false;
+    for (std::size_t c = 0; c < cores.size(); ++c) {
+      if (cores[c].done) continue;
+      anyPending = true;
+      const auto t = effectiveTime(cores[c]);
+      if (t.has_value() && *t < best) {
+        best = *t;
+        next = static_cast<int>(c);
+      }
+    }
+    if (!anyPending) break;
+    if (next < 0) {
+      throw ToolchainError("simulator deadlock: all cores blocked on events");
+    }
+    advance(cores[static_cast<std::size_t>(next)]);
+  }
+
+  for (const CoreCursor& core : cores) {
+    result.makespan = std::max(result.makespan, core.time);
+  }
+  for (const TaskTrace& t : result.tasks) result.totalStall += t.stall;
+  return result;
+}
+
+}  // namespace argo::sim

@@ -1,0 +1,39 @@
+#include "support/diagnostics.h"
+
+#include <sstream>
+
+namespace argo::support {
+
+void DiagnosticEngine::note(std::string message, std::string context) {
+  diags_.push_back({Severity::Note, std::move(message), std::move(context)});
+}
+
+void DiagnosticEngine::warning(std::string message, std::string context) {
+  diags_.push_back({Severity::Warning, std::move(message), std::move(context)});
+}
+
+void DiagnosticEngine::error(std::string message, std::string context) {
+  diags_.push_back({Severity::Error, std::move(message), std::move(context)});
+  ++errorCount_;
+}
+
+std::string DiagnosticEngine::str() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    switch (d.severity) {
+      case Severity::Note: os << "note"; break;
+      case Severity::Warning: os << "warning"; break;
+      case Severity::Error: os << "error"; break;
+    }
+    if (!d.context.empty()) os << ": " << d.context;
+    os << ": " << d.message << '\n';
+  }
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errorCount_ = 0;
+}
+
+}  // namespace argo::support

@@ -1,0 +1,49 @@
+#include "support/interval.h"
+
+#include <algorithm>
+
+namespace argo::support {
+
+Interval Interval::intersect(const Interval& other) const noexcept {
+  return Interval{std::max(lo, other.lo), std::min(hi, other.hi)};
+}
+
+void IntervalSet::insert(Interval iv) {
+  if (iv.empty()) return;
+  auto first = std::lower_bound(
+      items_.begin(), items_.end(), iv,
+      [](const Interval& a, const Interval& b) { return a.hi < b.lo; });
+  auto last = first;
+  while (last != items_.end() && last->lo <= iv.hi) {
+    iv.lo = std::min(iv.lo, last->lo);
+    iv.hi = std::max(iv.hi, last->hi);
+    ++last;
+  }
+  first = items_.erase(first, last);
+  items_.insert(first, iv);
+}
+
+std::int64_t IntervalSet::coveredLength() const noexcept {
+  std::int64_t total = 0;
+  for (const Interval& iv : items_) total += iv.length();
+  return total;
+}
+
+bool IntervalSet::overlaps(const Interval& iv) const noexcept {
+  for (const Interval& item : items_) {
+    if (item.overlaps(iv)) return true;
+    if (item.lo >= iv.hi) break;
+  }
+  return false;
+}
+
+std::int64_t IntervalSet::overlapLength(const Interval& iv) const noexcept {
+  std::int64_t total = 0;
+  for (const Interval& item : items_) {
+    total += item.intersect(iv).length();
+    if (item.lo >= iv.hi) break;
+  }
+  return total;
+}
+
+}  // namespace argo::support

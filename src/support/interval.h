@@ -1,0 +1,57 @@
+// Half-open integer intervals and interval overlap queries.
+//
+// Used by the system-level WCET analysis (task execution windows) and by
+// the scheduler (core occupancy).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace argo::support {
+
+/// Half-open interval [lo, hi) over a 64-bit time axis (cycles).
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return hi <= lo; }
+  [[nodiscard]] std::int64_t length() const noexcept {
+    return empty() ? 0 : hi - lo;
+  }
+  [[nodiscard]] bool contains(std::int64_t t) const noexcept {
+    return t >= lo && t < hi;
+  }
+  [[nodiscard]] bool overlaps(const Interval& other) const noexcept {
+    return lo < other.hi && other.lo < hi;
+  }
+  /// Intersection; empty interval when disjoint.
+  [[nodiscard]] Interval intersect(const Interval& other) const noexcept;
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// A set of disjoint, sorted intervals with union/overlap queries.
+class IntervalSet {
+ public:
+  /// Inserts an interval, merging any intervals it touches or overlaps.
+  void insert(Interval iv);
+
+  /// Total covered length.
+  [[nodiscard]] std::int64_t coveredLength() const noexcept;
+
+  /// True if any member overlaps `iv`.
+  [[nodiscard]] bool overlaps(const Interval& iv) const noexcept;
+
+  /// Length of the intersection between the set and `iv`.
+  [[nodiscard]] std::int64_t overlapLength(const Interval& iv) const noexcept;
+
+  [[nodiscard]] const std::vector<Interval>& intervals() const noexcept {
+    return items_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+ private:
+  std::vector<Interval> items_;  // sorted by lo, pairwise disjoint
+};
+
+}  // namespace argo::support

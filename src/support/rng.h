@@ -1,0 +1,35 @@
+// Deterministic random number generation for simulation and property tests.
+//
+// The simulator and the property-based test suites need reproducible random
+// streams. SplitMix64 is small, fast, and has well-understood statistical
+// quality; determinism across platforms matters more here than cryptographic
+// strength.
+#pragma once
+
+#include <cstdint>
+
+namespace argo::support {
+
+/// SplitMix64 PRNG. Deterministic across platforms for a given seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) noexcept
+      : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniformDouble() noexcept;
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p) noexcept;
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace argo::support

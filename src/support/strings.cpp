@@ -1,0 +1,58 @@
+#include "support/strings.h"
+
+#include <cctype>
+
+namespace argo::support {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) noexcept {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += sep;
+    out += items[i];
+  }
+  return out;
+}
+
+std::string formatCycles(long long cycles) {
+  std::string raw = std::to_string(cycles);
+  std::string out;
+  const bool neg = !raw.empty() && raw.front() == '-';
+  const std::size_t first = neg ? 1 : 0;
+  for (std::size_t i = first; i < raw.size(); ++i) {
+    if (i != first && (raw.size() - i) % 3 == 0) out += '_';
+    out += raw[i];
+  }
+  return neg ? "-" + out : out;
+}
+
+}  // namespace argo::support

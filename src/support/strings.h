@@ -1,0 +1,27 @@
+// Small string helpers shared across the tool-chain (lexers, printers).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace argo::support {
+
+/// Splits `text` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// True if `text` starts with `prefix`.
+[[nodiscard]] bool startsWith(std::string_view text,
+                              std::string_view prefix) noexcept;
+
+/// Joins items with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& items,
+                               std::string_view sep);
+
+/// Formats a cycle count with thousands separators for reports, e.g. 1_234_567.
+[[nodiscard]] std::string formatCycles(long long cycles);
+
+}  // namespace argo::support

@@ -1,0 +1,22 @@
+// Constant folding.
+//
+// Folds literal arithmetic produced by the front ends (Scilab index
+// adjustments, block parameter expressions). Purely local rewriting;
+// reduces both the WCET bound and the executed cost identically.
+#pragma once
+
+#include "transform/pass.h"
+
+namespace argo::transform {
+
+class ConstantFolding final : public Pass {
+ public:
+  [[nodiscard]] std::string name() const override { return "const_fold"; }
+  bool run(ir::Function& fn) override;
+};
+
+/// Folds one expression tree; returns the (possibly new) root and sets
+/// `changed` when anything folded.
+[[nodiscard]] ir::ExprPtr foldExpr(ir::ExprPtr expr, bool& changed);
+
+}  // namespace argo::transform

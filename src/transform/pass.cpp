@@ -1,0 +1,23 @@
+#include "transform/pass.h"
+
+#include "support/strings.h"
+
+namespace argo::transform {
+
+std::vector<std::string> PassManager::run(ir::Function& fn) {
+  std::vector<std::string> changed;
+  for (const std::unique_ptr<Pass>& pass : passes_) {
+    if (pass->run(fn)) {
+      const std::vector<std::string> problems = ir::validate(fn);
+      if (!problems.empty()) {
+        throw support::ToolchainError(
+            "pass '" + pass->name() + "' produced invalid IR: " +
+            support::join(problems, "; "));
+      }
+      changed.push_back(pass->name());
+    }
+  }
+  return changed;
+}
+
+}  // namespace argo::transform

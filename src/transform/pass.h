@@ -1,0 +1,45 @@
+// Pass manager for predictability-enhancing program transformations.
+//
+// Paper Section II-B: the IR "is used as input by the GeCoS source-to-source
+// transformation framework, which performs several predictability enhancing
+// program transformations (scratchpad management for data, predictability
+// oriented task parallelism extraction through loop transformations, etc.)".
+//
+// Passes mutate a Function in place and report whether they changed it.
+// Every pass must be semantics-preserving; the test suite enforces this by
+// interpreting original and transformed functions on random inputs.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/function.h"
+#include "support/diagnostics.h"
+
+namespace argo::transform {
+
+/// Base class of all transformation passes.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Applies the pass; returns true when the function changed.
+  virtual bool run(ir::Function& fn) = 0;
+};
+
+/// Runs a pipeline of passes and records what ran.
+class PassManager {
+ public:
+  void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+
+  /// Runs all passes in order; returns the names of passes that changed
+  /// the function. Validates the IR after each changing pass and throws
+  /// support::ToolchainError if a pass broke it.
+  std::vector<std::string> run(ir::Function& fn);
+
+ private:
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+}  // namespace argo::transform

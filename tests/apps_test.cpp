@@ -1,0 +1,214 @@
+// Golden-model tests: the compiled use-case diagrams must reproduce the
+// hand-written C++ references bit-for-bit (up to float tolerance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/egpws.h"
+#include "apps/polka.h"
+#include "apps/weaa.h"
+#include "support/rng.h"
+
+namespace argo::apps {
+namespace {
+
+TEST(Egpws, TerrainIsDeterministicAndSane) {
+  const EgpwsConfig config;
+  const auto t1 = makeTerrain(config);
+  const auto t2 = makeTerrain(config);
+  ASSERT_EQ(t1.size(), static_cast<std::size_t>(config.gridH * config.gridW));
+  EXPECT_EQ(t1, t2);
+  for (double e : t1) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LT(e, 2000.0);
+  }
+}
+
+TEST(Egpws, DiagramMatchesReference) {
+  const EgpwsConfig config;
+  const auto terrain = makeTerrain(config);
+  model::CompiledModel model = buildEgpwsDiagram(config).compile();
+  const ir::Evaluator evaluator(*model.fn);
+
+  support::Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    EgpwsInputs inputs;
+    inputs.x = 2.0 + rng.uniformDouble() * 28.0;
+    inputs.y = 2.0 + rng.uniformDouble() * 28.0;
+    inputs.altitude = 200.0 + rng.uniformDouble() * 1500.0;
+    inputs.groundSpeed = rng.uniformDouble() * 400.0;  // may saturate
+    inputs.verticalSpeed = rng.uniformDouble() * 30.0 - 15.0;
+    inputs.heading = rng.uniformDouble() * 6.28;
+
+    ir::Environment env = model.makeEnvironment();
+    setEgpwsInputs(env, inputs);
+    evaluator.run(env);
+    const EgpwsOutputs expected = egpwsReference(config, terrain, inputs);
+    EXPECT_NEAR(env.at("min_clearance_out").getFloat(),
+                expected.minClearance, 1e-6)
+        << "trial " << trial;
+    EXPECT_DOUBLE_EQ(env.at("alert_out").getFloat(), expected.alert)
+        << "trial " << trial;
+  }
+}
+
+TEST(Egpws, AlertLevelsClassifyCorrectly) {
+  const EgpwsConfig config;
+  const auto terrain = makeTerrain(config);
+  // Very high: no alert. Mid: caution. Descending into terrain: warning.
+  EgpwsInputs high;
+  high.altitude = 5000.0;
+  high.verticalSpeed = 0.0;
+  EXPECT_DOUBLE_EQ(egpwsReference(config, terrain, high).alert, 0.0);
+
+  EgpwsInputs low;
+  low.altitude = 500.0;
+  low.verticalSpeed = -30.0;
+  const EgpwsOutputs out = egpwsReference(config, terrain, low);
+  EXPECT_GT(out.alert, 0.0);
+}
+
+TEST(Egpws, FirSmoothingAffectsSecondStep) {
+  // The FIR has memory: feeding two different vs values must produce a
+  // different second-step result than a constant feed.
+  const EgpwsConfig config;
+  model::CompiledModel model = buildEgpwsDiagram(config).compile();
+  const ir::Evaluator evaluator(*model.fn);
+  ir::Environment env = model.makeEnvironment();
+  EgpwsInputs inputs;
+  setEgpwsInputs(env, inputs);
+  evaluator.run(env);
+  const double first = env.at("min_clearance_out").getFloat();
+  evaluator.run(env);  // same inputs, FIR state now nonzero
+  const double second = env.at("min_clearance_out").getFloat();
+  EXPECT_NE(first, second);
+}
+
+TEST(Weaa, DiagramMatchesReference) {
+  const WeaaConfig config;
+  model::CompiledModel model = buildWeaaDiagram(config).compile();
+  const ir::Evaluator evaluator(*model.fn);
+
+  support::Rng rng(23);
+  for (int trial = 0; trial < 8; ++trial) {
+    WeaaInputs inputs;
+    inputs.oy = -60.0 + rng.uniformDouble() * 120.0;
+    inputs.oz = -10.0 + rng.uniformDouble() * 20.0;
+    inputs.lx = rng.uniformDouble() * 300.0;
+    inputs.lz = rng.uniformDouble() * 20.0;
+    inputs.gamma0 = 150.0 + rng.uniformDouble() * 400.0;
+
+    ir::Environment env = model.makeEnvironment();
+    setWeaaInputs(env, inputs);
+    evaluator.run(env);
+    const WeaaOutputs expected = weaaReference(config, inputs);
+    EXPECT_NEAR(env.at("max_severity_out").getFloat(), expected.maxSeverity,
+                1e-9)
+        << "trial " << trial;
+    EXPECT_DOUBLE_EQ(env.at("conflict_out").getFloat(), expected.conflict);
+    EXPECT_NEAR(env.at("best_score_out").getFloat(), expected.bestScore,
+                1e-9);
+    for (int m = 0; m < config.candidates; ++m) {
+      EXPECT_NEAR(env.at("scores_out").getFloat(m),
+                  expected.scores[static_cast<std::size_t>(m)], 1e-9)
+          << "candidate " << m;
+    }
+  }
+}
+
+TEST(Weaa, DefaultScenarioIsAConflict) {
+  const WeaaConfig config;
+  const WeaaOutputs out = weaaReference(config, WeaaInputs{});
+  EXPECT_EQ(out.conflict, 1.0);
+  // The advisory must find something strictly better than staying put.
+  EXPECT_LT(out.bestScore, out.maxSeverity);
+}
+
+TEST(Weaa, SeverityDecaysWithDistance) {
+  const WeaaConfig config;
+  WeaaInputs near;
+  WeaaInputs far = near;
+  far.oy = -500.0;
+  EXPECT_GT(weaaReference(config, near).maxSeverity,
+            weaaReference(config, far).maxSeverity);
+}
+
+TEST(Polka, FrameIsDeterministic) {
+  const PolkaConfig config;
+  EXPECT_EQ(makePolkaFrame(config, 9), makePolkaFrame(config, 9));
+  EXPECT_NE(makePolkaFrame(config, 9), makePolkaFrame(config, 10));
+}
+
+TEST(Polka, DiagramMatchesReference) {
+  const PolkaConfig config;
+  model::CompiledModel model = buildPolkaDiagram(config).compile();
+  const ir::Evaluator evaluator(*model.fn);
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto frame = makePolkaFrame(config, seed);
+    ir::Environment env = model.makeEnvironment();
+    setPolkaInputs(env, config, frame);
+    evaluator.run(env);
+    const PolkaOutputs expected = polkaReference(config, frame);
+    EXPECT_NEAR(env.at("defect_count_out").getFloat(), expected.defectCount,
+                1e-9)
+        << "seed " << seed;
+    EXPECT_NEAR(env.at("max_dolp_out").getFloat(), expected.maxDolp, 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(Polka, StressedFrameHasDefectsUnstressedDoesNot) {
+  const PolkaConfig config;
+  const auto frame = makePolkaFrame(config, 5);
+  const PolkaOutputs stressed = polkaReference(config, frame);
+  EXPECT_GT(stressed.defectCount, 0.0);
+  EXPECT_GT(stressed.maxDolp, config.dolpThreshold);
+
+  // A uniform (unpolarized) frame must be defect-free.
+  std::vector<double> flat(frame.size(), 0.5);
+  const PolkaOutputs clean = polkaReference(config, flat);
+  EXPECT_DOUBLE_EQ(clean.defectCount, 0.0);
+}
+
+TEST(Polka, DefectCountScalesWithStressRegion) {
+  PolkaConfig small;
+  small.mosaicH = 32;
+  small.mosaicW = 32;
+  PolkaConfig large = small;
+  large.mosaicH = 64;
+  large.mosaicW = 64;
+  const PolkaOutputs a = polkaReference(small, makePolkaFrame(small, 1));
+  const PolkaOutputs b = polkaReference(large, makePolkaFrame(large, 1));
+  // Same relative ellipse on 4x the pixels: more defect pixels.
+  EXPECT_GT(b.defectCount, a.defectCount);
+}
+
+TEST(Apps, AllDiagramsCompileAndValidate) {
+  EXPECT_TRUE(ir::validate(*buildEgpwsDiagram(EgpwsConfig{}).compile().fn)
+                  .empty());
+  EXPECT_TRUE(ir::validate(*buildWeaaDiagram(WeaaConfig{}).compile().fn)
+                  .empty());
+  EXPECT_TRUE(ir::validate(*buildPolkaDiagram(PolkaConfig{}).compile().fn)
+                  .empty());
+}
+
+TEST(Apps, ConfigurableSizesCompile) {
+  EgpwsConfig egpws;
+  egpws.gridH = 16;
+  egpws.gridW = 24;
+  egpws.samples = 12;
+  EXPECT_NO_THROW((void)buildEgpwsDiagram(egpws).compile());
+
+  WeaaConfig weaa;
+  weaa.horizon = 16;
+  weaa.candidates = 4;
+  EXPECT_NO_THROW((void)buildWeaaDiagram(weaa).compile());
+
+  PolkaConfig polka;
+  polka.mosaicH = 16;
+  polka.mosaicW = 16;
+  EXPECT_NO_THROW((void)buildPolkaDiagram(polka).compile());
+}
+
+}  // namespace
+}  // namespace argo::apps

@@ -1,0 +1,143 @@
+// Unit tests for scalar-chain task merging in the HTG expansion.
+#include <gtest/gtest.h>
+
+#include "htg/htg.h"
+#include "ir/builder.h"
+#include "ir/evaluator.h"
+
+namespace argo::htg {
+namespace {
+
+using ir::ScalarKind;
+using ir::Type;
+using ir::VarRole;
+
+/// loop; s1; s2; s3; loop — the three scalar statements form a chain.
+std::unique_ptr<ir::Function> makeChainedFn() {
+  auto fn = std::make_unique<ir::Function>("chain");
+  fn->declare("u", Type::array(ScalarKind::Float64, {8}), VarRole::Input);
+  fn->declare("a", Type::array(ScalarKind::Float64, {8}), VarRole::Temp);
+  fn->declare("t1", Type::float64(), VarRole::Temp);
+  fn->declare("t2", Type::float64(), VarRole::Temp);
+  fn->declare("y", Type::array(ScalarKind::Float64, {8}), VarRole::Output);
+
+  auto body1 = ir::block();
+  body1->append(ir::assign(ir::ref("a", ir::exprVec(ir::var("i"))),
+                           ir::mul(ir::ref("u", ir::exprVec(ir::var("i"))),
+                                   ir::flt(2.0))));
+  fn->body().append(ir::forLoop("i", 0, 8, std::move(body1)));
+
+  fn->body().append(ir::assign(ir::ref("t1"),
+                               ir::ref("a", ir::exprVec(ir::lit(0)))));
+  fn->body().append(ir::assign(ir::ref("t2"), ir::mul(ir::var("t1"),
+                                                      ir::flt(3.0))));
+  fn->body().append(ir::assign(ir::ref("t1"), ir::add(ir::var("t2"),
+                                                      ir::flt(1.0))));
+
+  auto body2 = ir::block();
+  body2->append(ir::assign(ir::ref("y", ir::exprVec(ir::var("j"))),
+                           ir::add(ir::ref("a", ir::exprVec(ir::var("j"))),
+                                   ir::var("t1"))));
+  fn->body().append(ir::forLoop("j", 0, 8, std::move(body2)));
+  return fn;
+}
+
+TEST(MergeScalarChains, ReducesTaskCount) {
+  const auto fn = makeChainedFn();
+  const Htg htg = buildHtg(*fn);
+  ExpandOptions plain;
+  plain.chunksPerLoop = 1;
+  ExpandOptions merged = plain;
+  merged.mergeScalarChains = true;
+  const TaskGraph a = expand(htg, plain);
+  const TaskGraph b = expand(htg, merged);
+  EXPECT_EQ(a.tasks.size(), 5u);  // loop, s1, s2, s3, loop
+  EXPECT_EQ(b.tasks.size(), 3u);  // loop, merged chain, loop
+}
+
+TEST(MergeScalarChains, MergedTaskHoldsAllStatements) {
+  const auto fn = makeChainedFn();
+  const Htg htg = buildHtg(*fn);
+  ExpandOptions options;
+  options.chunksPerLoop = 1;
+  options.mergeScalarChains = true;
+  const TaskGraph graph = expand(htg, options);
+  bool foundChain = false;
+  for (const Task& task : graph.tasks) {
+    if (task.stmts.size() == 3) {
+      foundChain = true;
+      EXPECT_TRUE(task.usage.writes.contains("t1"));
+      EXPECT_TRUE(task.usage.writes.contains("t2"));
+    }
+  }
+  EXPECT_TRUE(foundChain);
+}
+
+TEST(MergeScalarChains, NoSelfOrDuplicateEdges) {
+  const auto fn = makeChainedFn();
+  const Htg htg = buildHtg(*fn);
+  ExpandOptions options;
+  options.chunksPerLoop = 2;
+  options.mergeScalarChains = true;
+  const TaskGraph graph = expand(htg, options);
+  std::set<std::pair<int, int>> seen;
+  for (const Dep& d : graph.deps) {
+    EXPECT_NE(d.from, d.to);
+    EXPECT_TRUE(seen.emplace(d.from, d.to).second)
+        << "duplicate edge " << d.from << "->" << d.to;
+  }
+}
+
+TEST(MergeScalarChains, PreservesSemantics) {
+  const auto fn = makeChainedFn();
+  const Htg htg = buildHtg(*fn);
+  ExpandOptions options;
+  options.chunksPerLoop = 2;
+  options.mergeScalarChains = true;
+  const TaskGraph graph = expand(htg, options);
+
+  ir::Environment ref;
+  ir::Value u = ir::Value::zeros(Type::array(ScalarKind::Float64, {8}));
+  for (int i = 0; i < 8; ++i) u.setFloat(i, 0.5 * i - 1.0);
+  ref["u"] = u;
+  ir::Evaluator(*fn).run(ref);
+
+  ir::Environment merged;
+  merged["u"] = u;
+  const ir::Evaluator evaluator(*fn);
+  for (const Task& task : graph.tasks) {
+    for (const ir::StmtPtr& s : task.stmts) evaluator.runStmt(*s, merged);
+  }
+  EXPECT_TRUE(ref.at("y").approxEquals(merged.at("y")));
+}
+
+TEST(MergeScalarChains, ChainsBrokenByLoops) {
+  // s; loop; s — the two scalars must NOT merge across the loop.
+  auto fn = std::make_unique<ir::Function>("broken");
+  fn->declare("a", Type::array(ScalarKind::Float64, {4}), VarRole::Temp);
+  fn->declare("t", Type::float64(), VarRole::Temp);
+  fn->declare("y", Type::float64(), VarRole::Output);
+  fn->body().append(ir::assign(ir::ref("t"), ir::flt(1.0)));
+  auto body = ir::block();
+  body->append(ir::assign(ir::ref("a", ir::exprVec(ir::var("i"))),
+                          ir::var("t")));
+  fn->body().append(ir::forLoop("i", 0, 4, std::move(body)));
+  fn->body().append(ir::assign(ir::ref("y"),
+                               ir::ref("a", ir::exprVec(ir::lit(0)))));
+  const Htg htg = buildHtg(*fn);
+  ExpandOptions options;
+  options.chunksPerLoop = 1;
+  options.mergeScalarChains = true;
+  const TaskGraph graph = expand(htg, options);
+  EXPECT_EQ(graph.tasks.size(), 3u);
+}
+
+TEST(MergeScalarChains, DefaultOff) {
+  const auto fn = makeChainedFn();
+  const Htg htg = buildHtg(*fn);
+  const TaskGraph graph = expand(htg, ExpandOptions{1});
+  EXPECT_EQ(graph.tasks.size(), 5u);
+}
+
+}  // namespace
+}  // namespace argo::htg

@@ -1,0 +1,240 @@
+// Integration tests: the full tool-chain (Fig. 1) end to end, across use
+// cases, platforms and scheduling policies, with the simulator as the
+// ground truth for the safety property.
+#include <gtest/gtest.h>
+
+#include "apps/egpws.h"
+#include "apps/polka.h"
+#include "apps/weaa.h"
+#include "core/toolchain.h"
+#include "sim/simulator.h"
+#include "support/diagnostics.h"
+
+namespace argo::core {
+namespace {
+
+enum class App { Egpws, Weaa, Polka };
+
+model::Diagram buildApp(App app) {
+  switch (app) {
+    case App::Egpws: {
+      apps::EgpwsConfig config;
+      config.gridH = 16;
+      config.gridW = 16;
+      config.samples = 16;
+      return apps::buildEgpwsDiagram(config);
+    }
+    case App::Weaa: {
+      apps::WeaaConfig config;
+      config.horizon = 24;
+      config.candidates = 4;
+      return apps::buildWeaaDiagram(config);
+    }
+    case App::Polka: {
+      apps::PolkaConfig config;
+      config.mosaicH = 16;
+      config.mosaicW = 16;
+      return apps::buildPolkaDiagram(config);
+    }
+  }
+  throw support::ToolchainError("unknown app");
+}
+
+void setAppInputs(App app, ir::Environment& env) {
+  switch (app) {
+    case App::Egpws:
+      apps::setEgpwsInputs(env, apps::EgpwsInputs{});
+      break;
+    case App::Weaa:
+      apps::setWeaaInputs(env, apps::WeaaInputs{});
+      break;
+    case App::Polka: {
+      apps::PolkaConfig config;
+      config.mosaicH = 16;
+      config.mosaicW = 16;
+      apps::setPolkaInputs(env, config, apps::makePolkaFrame(config, 3));
+      break;
+    }
+  }
+}
+
+/// Sweep: app x platform kind. The safety property and structural checks
+/// hold everywhere.
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineSweep, EndToEndSafetyAndStructure) {
+  const App app = static_cast<App>(std::get<0>(GetParam()));
+  const int platformKind = std::get<1>(GetParam());
+  const adl::Platform platform =
+      platformKind == 0   ? adl::makeRecoreXentiumBus(4)
+      : platformKind == 1 ? adl::makeRecoreXentiumBus(4,
+                                                      adl::Arbitration::Tdma)
+                          : adl::makeKitLeon3Inoc(2, 2);
+
+  ToolchainOptions options;
+  const Toolchain toolchain(platform, options);
+  const ToolchainResult result = toolchain.run(buildApp(app));
+
+  // Structure: a validated schedule over a non-trivial task graph.
+  EXPECT_GT(result.graph->tasks.size(), 1u);
+  EXPECT_TRUE(sched::validateSchedule(result.schedule, *result.graph,
+                                      platform, result.timings)
+                  .empty());
+  EXPECT_GT(result.system.makespan, 0);
+  EXPECT_GT(result.sequentialWcet, 0);
+
+  // Safety: simulate and compare against the bound.
+  sim::Simulator simulator(result.program, platform);
+  ir::Environment env = ir::makeZeroEnvironment(*result.fn);
+  for (const auto& [name, value] : result.constants) env[name] = value;
+  setAppInputs(app, env);
+  const sim::StepResult observed = simulator.step(env);
+  EXPECT_LE(observed.makespan, result.system.makespan);
+
+  // Multi-step safety (state evolves; the bound is per-step).
+  for (int step = 0; step < 3; ++step) {
+    const sim::StepResult again = simulator.step(env);
+    EXPECT_LE(again.makespan, result.system.makespan) << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AppsPlatforms, PipelineSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2),
+                                            ::testing::Values(0, 1, 2)));
+
+TEST(Toolchain, ParallelWcetBeatsSequentialOnRealApps) {
+  // The headline claim (E2): the guaranteed (bound) speedup > 1 on the
+  // compute-heavy use cases with 8 cores.
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  const Toolchain toolchain(platform, ToolchainOptions{});
+  for (const App app : {App::Weaa, App::Polka}) {
+    const ToolchainResult result = toolchain.run(buildApp(app));
+    EXPECT_GT(result.wcetSpeedup(), 1.0)
+        << "app " << static_cast<int>(app);
+  }
+}
+
+TEST(Toolchain, FeedbackPicksBestCandidate) {
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  const Toolchain toolchain(platform, ToolchainOptions{});
+  const ToolchainResult result = toolchain.run(buildApp(App::Polka));
+  ASSERT_FALSE(result.feedback.empty());
+  Cycles best = std::numeric_limits<Cycles>::max();
+  for (const FeedbackPoint& p : result.feedback) {
+    best = std::min(best, p.systemWcet);
+  }
+  EXPECT_EQ(result.system.makespan, best);
+  bool chosenSeen = false;
+  for (const FeedbackPoint& p : result.feedback) {
+    if (p.chunksPerLoop == result.chosenChunks) {
+      chosenSeen = true;
+      EXPECT_EQ(p.systemWcet, best);
+    }
+  }
+  EXPECT_TRUE(chosenSeen);
+}
+
+TEST(Toolchain, InterferenceAwareBeatsPessimisticAnalysis) {
+  // E3: analyzing the same program with the parMERASA-style
+  // all-contenders assumption yields a strictly worse bound whenever
+  // multiple tiles are used on a contention-sensitive interconnect.
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  const Toolchain toolchain(platform, ToolchainOptions{});
+  const ToolchainResult result = toolchain.run(buildApp(App::Polka));
+  const syswcet::SystemWcet pessimistic = syswcet::analyzeSystem(
+      result.program, platform, result.timings,
+      syswcet::InterferenceMethod::AllContenders);
+  EXPECT_LE(result.system.makespan, pessimistic.makespan);
+  if (result.schedule.tilesUsed > 1 &&
+      result.schedule.tilesUsed < platform.coreCount()) {
+    EXPECT_LT(result.system.makespan, pessimistic.makespan);
+  }
+}
+
+TEST(Toolchain, CustomChunkCandidatesHonored) {
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  ToolchainOptions options;
+  options.chunkCandidates = {3};
+  const Toolchain toolchain(platform, options);
+  const ToolchainResult result = toolchain.run(buildApp(App::Polka));
+  EXPECT_EQ(result.chosenChunks, 3);
+  // The requested candidate plus the always-present sequential mapping.
+  EXPECT_EQ(result.feedback.size(), 2u);
+  EXPECT_EQ(result.feedback[0].coreLimit, 1);
+  EXPECT_EQ(result.feedback[1].chunksPerLoop, 3);
+}
+
+TEST(Toolchain, TransformsCanBeDisabled) {
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  ToolchainOptions off;
+  off.runTransforms = false;
+  off.spmAllocation = false;
+  const Toolchain toolchain(platform, off);
+  const ToolchainResult result = toolchain.run(buildApp(App::Egpws));
+  EXPECT_TRUE(result.passesRun.empty());
+}
+
+TEST(Toolchain, SpmAllocationTightensEgpwsBound) {
+  // E5 shape: the terrain table fits the Xentium SPM; demoting it must
+  // reduce both the sequential and the parallel WCET.
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  ToolchainOptions with;
+  ToolchainOptions without;
+  without.spmAllocation = false;
+  const ToolchainResult a =
+      Toolchain(platform, with).run(buildApp(App::Egpws));
+  const ToolchainResult b =
+      Toolchain(platform, without).run(buildApp(App::Egpws));
+  EXPECT_LT(a.sequentialWcet, b.sequentialWcet);
+  EXPECT_LT(a.system.makespan, b.system.makespan);
+}
+
+TEST(Toolchain, ReportContainsKeyFacts) {
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  const Toolchain toolchain(platform, ToolchainOptions{});
+  const ToolchainResult result = toolchain.run(buildApp(App::Egpws));
+  const std::string report = result.reportText();
+  EXPECT_NE(report.find("sequential WCET"), std::string::npos);
+  EXPECT_NE(report.find("parallel WCET bound"), std::string::npos);
+  EXPECT_NE(report.find("feedback points"), std::string::npos);
+  EXPECT_NE(report.find("<== chosen"), std::string::npos);
+}
+
+TEST(Toolchain, StageTimingsRecorded) {
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  const Toolchain toolchain(platform, ToolchainOptions{});
+  const ToolchainResult result = toolchain.run(buildApp(App::Egpws));
+  ASSERT_GE(result.stages.size(), 4u);
+  for (const StageTiming& s : result.stages) {
+    EXPECT_GE(s.milliseconds, 0.0);
+    EXPECT_FALSE(s.stage.empty());
+  }
+}
+
+TEST(Toolchain, MoreCoresNeverHurtTheBound) {
+  // E2 shape: the chosen bound is non-increasing in core count.
+  const Toolchain tc2(adl::makeRecoreXentiumBus(2), ToolchainOptions{});
+  const Toolchain tc4(adl::makeRecoreXentiumBus(4), ToolchainOptions{});
+  const Toolchain tc8(adl::makeRecoreXentiumBus(8), ToolchainOptions{});
+  const Cycles w2 = tc2.run(buildApp(App::Polka)).system.makespan;
+  const Cycles w4 = tc4.run(buildApp(App::Polka)).system.makespan;
+  const Cycles w8 = tc8.run(buildApp(App::Polka)).system.makespan;
+  // Allow small non-monotonicity from heuristic scheduling (1%).
+  EXPECT_LE(w4, w2 + w2 / 100);
+  EXPECT_LE(w8, w4 + w4 / 100);
+}
+
+TEST(Toolchain, GeneratedCodeAvailablePerCore) {
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  const Toolchain toolchain(platform, ToolchainOptions{});
+  const ToolchainResult result = toolchain.run(buildApp(App::Egpws));
+  for (int tile = 0; tile < platform.coreCount(); ++tile) {
+    const std::string source = par::emitCoreSource(result.program, tile);
+    EXPECT_NE(source.find("core" + std::to_string(tile) + "_step"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace argo::core

@@ -1,0 +1,363 @@
+// Unit tests for affine analysis, dependence tests, privatization and
+// loop-parallelism legality.
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/dependence.h"
+
+namespace argo::ir {
+namespace {
+
+const std::map<std::string, int> kLoopIJ = {{"i", 0}, {"j", 1}};
+
+TEST(Affine, ConstantForm) {
+  const AffineForm f = analyzeAffine(*lit(7), kLoopIJ);
+  EXPECT_TRUE(f.affine);
+  EXPECT_TRUE(f.isConstant());
+  EXPECT_EQ(f.constant, 7);
+}
+
+TEST(Affine, LoopVarForm) {
+  const AffineForm f = analyzeAffine(*var("i"), kLoopIJ);
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff("i"), 1);
+  EXPECT_EQ(f.constant, 0);
+}
+
+TEST(Affine, LinearCombination) {
+  // 2*i + 3*j - 5
+  const ExprPtr e = sub(add(mul(lit(2), var("i")), mul(var("j"), lit(3))),
+                        lit(5));
+  const AffineForm f = analyzeAffine(*e, kLoopIJ);
+  EXPECT_TRUE(f.affine);
+  EXPECT_EQ(f.coeff("i"), 2);
+  EXPECT_EQ(f.coeff("j"), 3);
+  EXPECT_EQ(f.constant, -5);
+}
+
+TEST(Affine, NegationAndCancellation) {
+  // (i - i) folds to constant 0 coefficients.
+  const ExprPtr e = sub(var("i"), var("i"));
+  const AffineForm f = analyzeAffine(*e, kLoopIJ);
+  EXPECT_TRUE(f.affine);
+  EXPECT_TRUE(f.isConstant());
+}
+
+TEST(Affine, NonLoopVariableIsNotAffine) {
+  EXPECT_FALSE(analyzeAffine(*var("n"), kLoopIJ).affine);
+}
+
+TEST(Affine, ProductOfVarsIsNotAffine) {
+  EXPECT_FALSE(analyzeAffine(*mul(var("i"), var("j")), kLoopIJ).affine);
+}
+
+TEST(Affine, DivisionIsNotAffine) {
+  EXPECT_FALSE(analyzeAffine(*div(var("i"), lit(2)), kLoopIJ).affine);
+}
+
+TEST(Usage, CollectsReadsAndWrites) {
+  // a[i] = b[i] + c
+  const StmtPtr s = assign(ref("a", exprVec(var("i"))),
+                           add(ref("b", exprVec(var("i"))), var("c")));
+  auto body = block();
+  body->append(s->clone());
+  const StmtPtr loop = forLoop("i", 0, 4, std::move(body));
+  const VarUsage usage = collectUsage(*loop);
+  EXPECT_TRUE(usage.writes.contains("a"));
+  EXPECT_TRUE(usage.reads.contains("b"));
+  EXPECT_TRUE(usage.reads.contains("c"));
+  EXPECT_FALSE(usage.reads.contains("i"));  // loop var is private
+}
+
+TEST(Usage, ConflictDetection) {
+  VarUsage a;
+  a.writes = {"x"};
+  VarUsage b;
+  b.reads = {"x"};
+  EXPECT_TRUE(a.conflictsWith(b));   // flow
+  EXPECT_TRUE(b.conflictsWith(a));   // anti
+  VarUsage c;
+  c.reads = {"y"};
+  EXPECT_FALSE(a.conflictsWith(c));
+}
+
+TEST(Usage, OutputDependence) {
+  VarUsage a;
+  a.writes = {"x"};
+  VarUsage b;
+  b.writes = {"x"};
+  EXPECT_TRUE(a.conflictsWith(b));
+}
+
+ArrayAccess makeAccess(const std::string& array, bool isWrite,
+                       std::int64_t coeffI, std::int64_t constant) {
+  ArrayAccess access;
+  access.array = array;
+  access.isWrite = isWrite;
+  AffineForm f;
+  f.affine = true;
+  if (coeffI != 0) f.coeffs["i"] = coeffI;
+  f.constant = constant;
+  access.subscripts.push_back(f);
+  return access;
+}
+
+TEST(Dependence, StrongSivDistanceZeroIsIndependent) {
+  // a[i] write vs a[i] read: same-iteration only, not loop-carried.
+  const auto w = makeAccess("a", true, 1, 0);
+  const auto r = makeAccess("a", false, 1, 0);
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Independent);
+}
+
+TEST(Dependence, StrongSivSmallDistanceIsDependent) {
+  // a[i] write vs a[i-1] read: distance 1 carried dependence.
+  const auto w = makeAccess("a", true, 1, 0);
+  const auto r = makeAccess("a", false, 1, -1);
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Dependent);
+}
+
+TEST(Dependence, StrongSivDistanceBeyondTripIsIndependent) {
+  const auto w = makeAccess("a", true, 1, 0);
+  const auto r = makeAccess("a", false, 1, -20);
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Independent);
+}
+
+TEST(Dependence, StrongSivNonDivisibleIsIndependent) {
+  // a[2i] vs a[2i+1]: never equal.
+  const auto w = makeAccess("a", true, 2, 0);
+  const auto r = makeAccess("a", false, 2, 1);
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Independent);
+}
+
+TEST(Dependence, ZivDifferentConstantsIndependent) {
+  const auto w = makeAccess("a", true, 0, 3);
+  const auto r = makeAccess("a", false, 0, 4);
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Independent);
+}
+
+TEST(Dependence, ZivSameConstantDependent) {
+  const auto w = makeAccess("a", true, 0, 3);
+  const auto r = makeAccess("a", false, 0, 3);
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Dependent);
+}
+
+TEST(Dependence, GcdTestProvesIndependence) {
+  // 2i vs 4i' + 1: gcd(2,4)=2 does not divide 1.
+  const auto w = makeAccess("a", true, 2, 0);
+  const auto r = makeAccess("a", false, 4, 1);
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Independent);
+}
+
+TEST(Dependence, ReadsNeverConflict) {
+  const auto r1 = makeAccess("a", false, 1, 0);
+  const auto r2 = makeAccess("a", false, 1, -1);
+  EXPECT_EQ(testLoopCarried(r1, r2, "i", 16), DependenceAnswer::Independent);
+}
+
+TEST(Dependence, DifferentArraysIndependent) {
+  const auto w = makeAccess("a", true, 1, 0);
+  const auto r = makeAccess("b", false, 1, 0);
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Independent);
+}
+
+TEST(Dependence, NonAffineIsDependent) {
+  auto w = makeAccess("a", true, 1, 0);
+  ArrayAccess r;
+  r.array = "a";
+  r.isWrite = false;
+  r.subscripts.push_back(AffineForm::nonAffine());
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Dependent);
+}
+
+TEST(Dependence, MultiDimOneProvingDimSuffices) {
+  // a[i][0] vs a[i][1]: second dim proves independence.
+  ArrayAccess w = makeAccess("a", true, 1, 0);
+  w.subscripts.push_back(AffineForm::constantForm(0));
+  ArrayAccess r = makeAccess("a", false, 1, 0);
+  r.subscripts.push_back(AffineForm::constantForm(1));
+  EXPECT_EQ(testLoopCarried(w, r, "i", 16), DependenceAnswer::Independent);
+}
+
+// ---- Privatization ----
+
+std::unique_ptr<Block> parseLikeBody(std::vector<StmtPtr> stmts) {
+  return block(std::move(stmts));
+}
+
+TEST(Privatization, WriteBeforeReadIsPrivate) {
+  // t = a[i]; b[i] = t * 2
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(assign(ref("t"), ref("a", exprVec(var("i")))));
+  stmts.push_back(
+      assign(ref("b", exprVec(var("i"))), mul(var("t"), lit(2))));
+  EXPECT_TRUE(isScalarPrivatizable(*parseLikeBody(std::move(stmts)), "t"));
+}
+
+TEST(Privatization, ReadBeforeWriteIsNotPrivate) {
+  // b[i] = t; t = a[i]
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(assign(ref("b", exprVec(var("i"))), var("t")));
+  stmts.push_back(assign(ref("t"), ref("a", exprVec(var("i")))));
+  EXPECT_FALSE(isScalarPrivatizable(*parseLikeBody(std::move(stmts)), "t"));
+}
+
+TEST(Privatization, ReadModifyWriteIsNotPrivate) {
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(assign(ref("t"), add(var("t"), lit(1))));
+  EXPECT_FALSE(isScalarPrivatizable(*parseLikeBody(std::move(stmts)), "t"));
+}
+
+TEST(Privatization, InnerLoopWriteFirstIsPrivate) {
+  // for k { t = ...; use t } — t is private at the outer level too.
+  std::vector<StmtPtr> inner;
+  inner.push_back(assign(ref("t"), var("k")));
+  inner.push_back(assign(ref("b", exprVec(var("k"))), var("t")));
+  std::vector<StmtPtr> outer;
+  outer.push_back(forLoop("k", 0, 4, block(std::move(inner))));
+  EXPECT_TRUE(isScalarPrivatizable(*parseLikeBody(std::move(outer)), "t"));
+}
+
+TEST(Privatization, KilledBeforeInnerAccumulationIsPrivate) {
+  // t = 0; for k { t = t + 1 } — t IS private at the enclosing level
+  // (killed before the loop), the accumulation is fine.
+  std::vector<StmtPtr> inner;
+  inner.push_back(assign(ref("t"), add(var("t"), lit(1))));
+  std::vector<StmtPtr> outer;
+  outer.push_back(assign(ref("t"), lit(0)));
+  outer.push_back(forLoop("k", 0, 4, block(std::move(inner))));
+  EXPECT_TRUE(isScalarPrivatizable(*parseLikeBody(std::move(outer)), "t"));
+}
+
+TEST(Privatization, InnerAccumulatorWithoutKillIsNotPrivate) {
+  // for k { t = t + 1 } with no preceding kill: reads a stale value.
+  std::vector<StmtPtr> inner;
+  inner.push_back(assign(ref("t"), add(var("t"), lit(1))));
+  std::vector<StmtPtr> outer;
+  outer.push_back(forLoop("k", 0, 4, block(std::move(inner))));
+  EXPECT_FALSE(isScalarPrivatizable(*parseLikeBody(std::move(outer)), "t"));
+}
+
+TEST(Privatization, ConditionReadIsNotPrivate) {
+  // if (t > 0) { t = 1 }: the condition reads the stale value.
+  std::vector<StmtPtr> thenStmts;
+  thenStmts.push_back(assign(ref("t"), lit(1)));
+  std::vector<StmtPtr> outer;
+  outer.push_back(ifStmt(bin(BinOpKind::Gt, var("t"), lit(0)),
+                         block(std::move(thenStmts))));
+  EXPECT_FALSE(isScalarPrivatizable(*parseLikeBody(std::move(outer)), "t"));
+}
+
+TEST(Privatization, BothBranchesKillIsKill) {
+  // if (c) { t = 1 } else { t = 2 }; y = t — private.
+  std::vector<StmtPtr> thenStmts;
+  thenStmts.push_back(assign(ref("t"), lit(1)));
+  std::vector<StmtPtr> elseStmts;
+  elseStmts.push_back(assign(ref("t"), lit(2)));
+  std::vector<StmtPtr> outer;
+  outer.push_back(ifStmt(bin(BinOpKind::Gt, var("c"), lit(0)),
+                         block(std::move(thenStmts)),
+                         block(std::move(elseStmts))));
+  outer.push_back(assign(ref("y"), var("t")));
+  EXPECT_TRUE(isScalarPrivatizable(*parseLikeBody(std::move(outer)), "t"));
+}
+
+TEST(Privatization, OneBranchKillThenReadIsNotPrivate) {
+  // if (c) { t = 1 }; y = t — else path reads stale t.
+  std::vector<StmtPtr> thenStmts;
+  thenStmts.push_back(assign(ref("t"), lit(1)));
+  std::vector<StmtPtr> outer;
+  outer.push_back(ifStmt(bin(BinOpKind::Gt, var("c"), lit(0)),
+                         block(std::move(thenStmts))));
+  outer.push_back(assign(ref("y"), var("t")));
+  EXPECT_FALSE(isScalarPrivatizable(*parseLikeBody(std::move(outer)), "t"));
+}
+
+// ---- isLoopParallel ----
+
+Function makeFnWithArrays() {
+  Function fn("f");
+  fn.declare("a", Type::array(ScalarKind::Float64, {16}), VarRole::Temp);
+  fn.declare("b", Type::array(ScalarKind::Float64, {16}), VarRole::Temp);
+  fn.declare("t", Type::float64(), VarRole::Temp);
+  fn.declare("out", Type::float64(), VarRole::Output);
+  return fn;
+}
+
+TEST(LoopParallel, ElementwiseMapIsParallel) {
+  Function fn = makeFnWithArrays();
+  auto body = block();
+  body->append(assign(ref("a", exprVec(var("i"))),
+                      mul(ref("b", exprVec(var("i"))), lit(2))));
+  const StmtPtr loop = forLoop("i", 0, 16, std::move(body));
+  EXPECT_TRUE(isLoopParallel(cast<For>(*loop), fn));
+}
+
+TEST(LoopParallel, RecurrenceIsNotParallel) {
+  Function fn = makeFnWithArrays();
+  auto body = block();
+  body->append(assign(ref("a", exprVec(var("i"))),
+                      ref("a", exprVec(sub(var("i"), lit(1))))));
+  const StmtPtr loop = forLoop("i", 1, 16, std::move(body));
+  EXPECT_FALSE(isLoopParallel(cast<For>(*loop), fn));
+}
+
+TEST(LoopParallel, ScalarReductionIsNotParallel) {
+  Function fn = makeFnWithArrays();
+  auto body = block();
+  body->append(assign(ref("t"), add(var("t"), ref("a", exprVec(var("i"))))));
+  const StmtPtr loop = forLoop("i", 0, 16, std::move(body));
+  EXPECT_FALSE(isLoopParallel(cast<For>(*loop), fn));
+}
+
+TEST(LoopParallel, PrivatizableScalarIsParallel) {
+  Function fn = makeFnWithArrays();
+  auto body = block();
+  body->append(assign(ref("t"), ref("b", exprVec(var("i")))));
+  body->append(assign(ref("a", exprVec(var("i"))), mul(var("t"), var("t"))));
+  const StmtPtr loop = forLoop("i", 0, 16, std::move(body));
+  EXPECT_TRUE(isLoopParallel(cast<For>(*loop), fn));
+}
+
+TEST(LoopParallel, OutputScalarWriteIsNotParallel) {
+  Function fn = makeFnWithArrays();
+  auto body = block();
+  body->append(assign(ref("out"), ref("b", exprVec(var("i")))));
+  const StmtPtr loop = forLoop("i", 0, 16, std::move(body));
+  // `out` has VarRole::Output: never treated as private.
+  EXPECT_FALSE(isLoopParallel(cast<For>(*loop), fn));
+}
+
+TEST(LoopParallel, StridedDisjointWritesAreParallel) {
+  Function fn = makeFnWithArrays();
+  // a[2i] = b[2i+1]: writes/reads provably disjoint.
+  auto body = block();
+  body->append(assign(ref("a", exprVec(mul(lit(2), var("i")))),
+                      ref("a", exprVec(add(mul(lit(2), var("i")), lit(1))))));
+  const StmtPtr loop = forLoop("i", 0, 8, std::move(body));
+  EXPECT_TRUE(isLoopParallel(cast<For>(*loop), fn));
+}
+
+TEST(LoopParallel, SingleIterationAlwaysParallel) {
+  Function fn = makeFnWithArrays();
+  auto body = block();
+  body->append(assign(ref("a", exprVec(lit(0))),
+                      ref("a", exprVec(lit(0)))));
+  const StmtPtr loop = forLoop("i", 0, 1, std::move(body));
+  EXPECT_TRUE(isLoopParallel(cast<For>(*loop), fn));
+}
+
+TEST(CollectAccesses, FindsAllArrayAccesses) {
+  auto body = block();
+  body->append(assign(ref("a", exprVec(var("i"))),
+                      add(ref("b", exprVec(var("i"))), var("t"))));
+  std::map<std::string, int> loopVars = {{"i", 0}};
+  const auto accesses = collectArrayAccesses(*body, loopVars);
+  // a (write), b (read), t (scalar read).
+  ASSERT_EQ(accesses.size(), 3u);
+  int writes = 0;
+  for (const auto& access : accesses) writes += access.isWrite ? 1 : 0;
+  EXPECT_EQ(writes, 1);
+}
+
+}  // namespace
+}  // namespace argo::ir

@@ -1,0 +1,394 @@
+// Unit tests for the block library: each block compiled in a minimal
+// diagram and checked against hand-computed values via the interpreter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/blocks.h"
+#include "model/diagram.h"
+#include "support/diagnostics.h"
+#include "support/rng.h"
+
+namespace argo::model {
+namespace {
+
+using ir::ScalarKind;
+using ir::Type;
+
+/// Compiles a single-input single-output chain: in -> block -> out, runs it
+/// on `input`, returns the output value.
+ir::Value runUnary(std::unique_ptr<Block> blockPtr, const Type& inType,
+                   const ir::Value& input) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", inType);
+  const BlockId mid = d.add(std::move(blockPtr));
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, mid);
+  d.connect(mid, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["u"] = input;
+  ir::Evaluator(*model.fn).run(env);
+  return env.at("y");
+}
+
+ir::Value vec(std::vector<double> values) {
+  const Type t = Type::array(ScalarKind::Float64,
+                             {static_cast<int>(values.size())});
+  return ir::Value::floats(t, std::move(values));
+}
+
+TEST(Blocks, GainScalesVector) {
+  const ir::Value out = runUnary(std::make_unique<GainBlock>("g", 2.5),
+                                 Type::array(ScalarKind::Float64, {3}),
+                                 vec({1.0, -2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(out.getFloat(0), 2.5);
+  EXPECT_DOUBLE_EQ(out.getFloat(1), -5.0);
+  EXPECT_DOUBLE_EQ(out.getFloat(2), 10.0);
+}
+
+TEST(Blocks, GainOnScalar) {
+  const ir::Value out = runUnary(std::make_unique<GainBlock>("g", -3.0),
+                                 Type::float64(),
+                                 ir::Value::scalarFloat(2.0));
+  EXPECT_DOUBLE_EQ(out.getFloat(), -6.0);
+}
+
+TEST(Blocks, SaturateClamps) {
+  const ir::Value out =
+      runUnary(std::make_unique<SaturateBlock>("s", -1.0, 1.0),
+               Type::array(ScalarKind::Float64, {3}),
+               vec({-5.0, 0.5, 9.0}));
+  EXPECT_DOUBLE_EQ(out.getFloat(0), -1.0);
+  EXPECT_DOUBLE_EQ(out.getFloat(1), 0.5);
+  EXPECT_DOUBLE_EQ(out.getFloat(2), 1.0);
+}
+
+TEST(Blocks, SaturateRejectsInvertedRange) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId sat = d.add<SaturateBlock>("s", 2.0, -2.0);
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, sat);
+  d.connect(sat, out);
+  EXPECT_THROW((void)d.compile(), support::ToolchainError);
+}
+
+TEST(Blocks, MathSqrt) {
+  const ir::Value out =
+      runUnary(std::make_unique<MathBlock>("m", ir::UnOpKind::Sqrt),
+               Type::float64(), ir::Value::scalarFloat(9.0));
+  EXPECT_DOUBLE_EQ(out.getFloat(), 3.0);
+}
+
+TEST(Blocks, SumWithSigns) {
+  Diagram d("t");
+  const Type t = Type::array(ScalarKind::Float64, {2});
+  const BlockId a = d.add<InputBlock>("a", t);
+  const BlockId b = d.add<InputBlock>("b", t);
+  const BlockId c = d.add<InputBlock>("c", t);
+  const BlockId sum = d.add<SumBlock>("sum", std::vector<int>{1, -1, 1});
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(a, 0, sum, 0);
+  d.connect(b, 0, sum, 1);
+  d.connect(c, 0, sum, 2);
+  d.connect(sum, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["a"] = vec({1.0, 2.0});
+  env["b"] = vec({10.0, 20.0});
+  env["c"] = vec({100.0, 200.0});
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(0), 91.0);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(1), 182.0);
+}
+
+TEST(Blocks, SumRejectsShapeMismatch) {
+  Diagram d("t");
+  const BlockId a = d.add<InputBlock>("a", Type::array(ScalarKind::Float64, {2}));
+  const BlockId b = d.add<InputBlock>("b", Type::array(ScalarKind::Float64, {3}));
+  const BlockId sum = d.add<SumBlock>("sum", std::vector<int>{1, 1});
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(a, 0, sum, 0);
+  d.connect(b, 0, sum, 1);
+  d.connect(sum, out);
+  EXPECT_THROW((void)d.compile(), support::ToolchainError);
+}
+
+TEST(Blocks, ProductMultiplies) {
+  Diagram d("t");
+  const BlockId a = d.add<InputBlock>("a", Type::float64());
+  const BlockId prod = d.add<ProductBlock>("p", 2);
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(a, 0, prod, 0);
+  d.connect(a, 0, prod, 1);  // fan-out: square
+  d.connect(prod, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["a"] = ir::Value::scalarFloat(-3.0);
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(), 9.0);
+}
+
+TEST(Blocks, ConstScalarAndArray) {
+  Diagram d("t");
+  const BlockId scalarConst = d.add<ConstBlock>("k", Type::float64(),
+                                                std::vector<double>{2.5});
+  const BlockId arrayConst = d.add<ConstBlock>(
+      "table", Type::array(ScalarKind::Float64, {3}),
+      std::vector<double>{7.0, 8.0, 9.0});
+  const BlockId g = d.add<GainBlock>("g", 1.0);
+  d.connect(arrayConst, g);
+  const BlockId out1 = d.add<OutputBlock>("y1");
+  const BlockId out2 = d.add<OutputBlock>("y2");
+  d.connect(scalarConst, out1);
+  d.connect(g, out2);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_DOUBLE_EQ(env.at("y1").getFloat(), 2.5);
+  EXPECT_DOUBLE_EQ(env.at("y2").getFloat(2), 9.0);
+  // The array constant lives in the constant table, not in per-step code.
+  EXPECT_FALSE(model.constants.empty());
+}
+
+TEST(Blocks, ConstRejectsSizeMismatch) {
+  EXPECT_THROW(ConstBlock("k", Type::array(ScalarKind::Float64, {4}),
+                          std::vector<double>{1.0}),
+               support::ToolchainError);
+}
+
+TEST(Blocks, DelayIsOneStep) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId delay = d.add<DelayBlock>("z");
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, delay);
+  d.connect(delay, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  ir::Evaluator ev(*model.fn);
+  env["u"] = ir::Value::scalarFloat(5.0);
+  ev.run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(), 0.0);  // initial state
+  env["u"] = ir::Value::scalarFloat(7.0);
+  ev.run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(), 5.0);
+  ev.run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(), 7.0);
+}
+
+TEST(Blocks, RelationalProducesIndicator) {
+  Diagram d("t");
+  const Type t = Type::array(ScalarKind::Float64, {3});
+  const BlockId a = d.add<InputBlock>("a", t);
+  const BlockId b = d.add<InputBlock>("b", t);
+  const BlockId rel = d.add<RelationalBlock>("lt", ir::BinOpKind::Lt);
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(a, 0, rel, 0);
+  d.connect(b, 0, rel, 1);
+  d.connect(rel, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["a"] = vec({1.0, 5.0, 3.0});
+  env["b"] = vec({2.0, 4.0, 3.0});
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(0), 1.0);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(1), 0.0);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(2), 0.0);
+}
+
+TEST(Blocks, SwitchSelectsByScalarControl) {
+  Diagram d("t");
+  const Type t = Type::array(ScalarKind::Float64, {2});
+  const BlockId ctl = d.add<InputBlock>("ctl", Type::float64());
+  const BlockId a = d.add<InputBlock>("a", t);
+  const BlockId b = d.add<InputBlock>("b", t);
+  const BlockId sw = d.add<SwitchBlock>("sw", 0.5);
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(ctl, 0, sw, 0);
+  d.connect(a, 0, sw, 1);
+  d.connect(b, 0, sw, 2);
+  d.connect(sw, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["a"] = vec({1.0, 2.0});
+  env["b"] = vec({-1.0, -2.0});
+  env["ctl"] = ir::Value::scalarFloat(1.0);
+  ir::Evaluator ev(*model.fn);
+  ev.run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(1), 2.0);
+  env["ctl"] = ir::Value::scalarFloat(0.0);
+  ev.run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(1), -2.0);
+}
+
+TEST(Blocks, ReduceSumMinMax) {
+  const ir::Value in = vec({3.0, -1.0, 4.0, 1.0});
+  const Type t = Type::array(ScalarKind::Float64, {4});
+  EXPECT_DOUBLE_EQ(
+      runUnary(std::make_unique<ReduceBlock>("r", ReduceBlock::Op::Sum), t, in)
+          .getFloat(),
+      7.0);
+  EXPECT_DOUBLE_EQ(
+      runUnary(std::make_unique<ReduceBlock>("r", ReduceBlock::Op::Min), t, in)
+          .getFloat(),
+      -1.0);
+  EXPECT_DOUBLE_EQ(
+      runUnary(std::make_unique<ReduceBlock>("r", ReduceBlock::Op::Max), t, in)
+          .getFloat(),
+      4.0);
+}
+
+TEST(Blocks, FirComputesConvolution) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId fir =
+      d.add<FirBlock>("fir", std::vector<double>{0.5, 0.25, 0.25});
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, fir);
+  d.connect(fir, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  ir::Evaluator ev(*model.fn);
+  const double inputs[] = {1.0, 2.0, 3.0, 4.0};
+  const double expected[] = {0.5, 1.25, 2.25, 3.25};
+  for (int n = 0; n < 4; ++n) {
+    env["u"] = ir::Value::scalarFloat(inputs[n]);
+    ev.run(env);
+    EXPECT_NEAR(env.at("y").getFloat(), expected[n], 1e-12) << "step " << n;
+  }
+}
+
+TEST(Blocks, BiquadMatchesDirectForm) {
+  // y[n] = b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]
+  const double b0 = 0.2, b1 = 0.3, b2 = 0.1, a1 = -0.5, a2 = 0.2;
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId bq = d.add<BiquadBlock>("bq", b0, b1, b2, a1, a2);
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, bq);
+  d.connect(bq, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  ir::Evaluator ev(*model.fn);
+  double x1 = 0, x2 = 0, y1 = 0, y2 = 0;
+  support::Rng rng(5);
+  for (int n = 0; n < 16; ++n) {
+    const double x = rng.uniformDouble() * 2.0 - 1.0;
+    env["u"] = ir::Value::scalarFloat(x);
+    ev.run(env);
+    const double expected = b0 * x + b1 * x1 + b2 * x2 - a1 * y1 - a2 * y2;
+    EXPECT_NEAR(env.at("y").getFloat(), expected, 1e-9) << "step " << n;
+    x2 = x1;
+    x1 = x;
+    y2 = y1;
+    y1 = expected;
+  }
+}
+
+TEST(Blocks, MatVecMultiplies) {
+  Diagram d("t");
+  const BlockId in =
+      d.add<InputBlock>("u", Type::array(ScalarKind::Float64, {3}));
+  const BlockId mv = d.add<MatVecBlock>(
+      "A", 2, 3, std::vector<double>{1, 0, 2,
+                                     0, 3, 0});
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, mv);
+  d.connect(mv, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["u"] = vec({1.0, 2.0, 3.0});
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(0), 7.0);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(1), 6.0);
+}
+
+TEST(Blocks, Conv2dIdentityKernel) {
+  Diagram d("t");
+  const Type img = Type::array(ScalarKind::Float64, {3, 3});
+  const BlockId in = d.add<InputBlock>("u", img);
+  const BlockId conv = d.add<Conv2dBlock>(
+      "c", 3, 3, std::vector<double>{0, 0, 0, 0, 1, 0, 0, 0, 0});
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, conv);
+  d.connect(conv, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  ir::Value image = ir::Value::zeros(img);
+  for (int k = 0; k < 9; ++k) image.setFloat(k, k + 1.0);
+  env["u"] = image;
+  ir::Evaluator(*model.fn).run(env);
+  for (int k = 0; k < 9; ++k) {
+    EXPECT_DOUBLE_EQ(env.at("y").getFloat(k), k + 1.0);
+  }
+}
+
+TEST(Blocks, Conv2dZeroPadsBorders) {
+  Diagram d("t");
+  const Type img = Type::array(ScalarKind::Float64, {2, 2});
+  const BlockId in = d.add<InputBlock>("u", img);
+  // Averaging kernel: border output sums only in-image taps.
+  const BlockId conv = d.add<Conv2dBlock>(
+      "c", 3, 3, std::vector<double>(9, 1.0));
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, conv);
+  d.connect(conv, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  ir::Value image = ir::Value::zeros(img);
+  image.setFloat(0, 1.0);
+  image.setFloat(1, 2.0);
+  image.setFloat(2, 3.0);
+  image.setFloat(3, 4.0);
+  env["u"] = image;
+  ir::Evaluator(*model.fn).run(env);
+  // Every output is the sum of the whole 2x2 image (kernel covers it all).
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(env.at("y").getFloat(k), 10.0);
+  }
+}
+
+TEST(Blocks, Lookup1dInterpolatesAndClamps) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  // Table over x0=0, dx=1: f(0)=0, f(1)=10, f(2)=20.
+  const BlockId lut = d.add<Lookup1dBlock>(
+      "lut", 0.0, 1.0, std::vector<double>{0.0, 10.0, 20.0});
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, lut);
+  d.connect(lut, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  ir::Evaluator ev(*model.fn);
+  const double cases[][2] = {
+      {0.5, 5.0}, {1.0, 10.0}, {1.75, 17.5},
+      {-3.0, 0.0},   // clamped low
+      {9.0, 20.0}};  // clamped high
+  for (const auto& c : cases) {
+    env["u"] = ir::Value::scalarFloat(c[0]);
+    ev.run(env);
+    EXPECT_NEAR(env.at("y").getFloat(), c[1], 1e-9) << "x=" << c[0];
+  }
+}
+
+TEST(Blocks, Atan2Elementwise) {
+  Diagram d("t");
+  const BlockId a = d.add<InputBlock>("a", Type::float64());
+  const BlockId b = d.add<InputBlock>("b", Type::float64());
+  const BlockId at2 = d.add<Atan2Block>("at2");
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(a, 0, at2, 0);
+  d.connect(b, 0, at2, 1);
+  d.connect(at2, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["a"] = ir::Value::scalarFloat(1.0);
+  env["b"] = ir::Value::scalarFloat(2.0);
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_NEAR(env.at("y").getFloat(), std::atan2(1.0, 2.0), 1e-12);
+}
+
+}  // namespace
+}  // namespace argo::model

@@ -1,0 +1,203 @@
+// Unit tests for diagram wiring, type inference, cycle handling and
+// compilation structure.
+#include <gtest/gtest.h>
+
+#include "model/blocks.h"
+#include "model/diagram.h"
+#include "ir/printer.h"
+#include "support/diagnostics.h"
+
+namespace argo::model {
+namespace {
+
+using ir::ScalarKind;
+using ir::Type;
+using support::ToolchainError;
+
+TEST(Diagram, RejectsEmpty) {
+  Diagram d("empty");
+  EXPECT_THROW((void)d.compile(), ToolchainError);
+}
+
+TEST(Diagram, RejectsUnconnectedInput) {
+  Diagram d("t");
+  (void)d.add<GainBlock>("g", 2.0);  // input port 0 never driven
+  EXPECT_THROW((void)d.compile(), ToolchainError);
+}
+
+TEST(Diagram, RejectsDoubleDrivenInput) {
+  Diagram d("t");
+  const BlockId a = d.add<InputBlock>("a", Type::float64());
+  const BlockId b = d.add<InputBlock>("b", Type::float64());
+  const BlockId g = d.add<GainBlock>("g", 2.0);
+  d.connect(a, g);
+  EXPECT_THROW(d.connect(b, g), ToolchainError);
+}
+
+TEST(Diagram, RejectsBadPortNumbers) {
+  Diagram d("t");
+  const BlockId a = d.add<InputBlock>("a", Type::float64());
+  const BlockId g = d.add<GainBlock>("g", 2.0);
+  EXPECT_THROW(d.connect(a, 1, g, 0), ToolchainError);  // a has 1 output
+  EXPECT_THROW(d.connect(a, 0, g, 3), ToolchainError);  // g has 1 input
+}
+
+TEST(Diagram, RejectsAlgebraicLoop) {
+  Diagram d("t");
+  const BlockId g1 = d.add<GainBlock>("g1", 2.0);
+  const BlockId g2 = d.add<GainBlock>("g2", 0.5);
+  d.connect(g1, g2);
+  d.connect(g2, g1);
+  EXPECT_THROW((void)d.compile(), ToolchainError);
+}
+
+TEST(Diagram, FeedbackThroughTypedDelayCompiles) {
+  // Accumulator: y = delay(y + u); needs the declared-type Delay.
+  Diagram d("acc");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId sum = d.add<SumBlock>("sum", std::vector<int>{1, 1});
+  const BlockId delay = d.add<DelayBlock>("z", Type::float64());
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, 0, sum, 0);
+  d.connect(delay, 0, sum, 1);
+  d.connect(sum, 0, delay, 0);
+  d.connect(sum, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  ir::Evaluator ev(*model.fn);
+  double expected = 0.0;
+  for (int n = 1; n <= 5; ++n) {
+    env["u"] = ir::Value::scalarFloat(1.0);
+    ev.run(env);
+    expected += 1.0;
+    EXPECT_DOUBLE_EQ(env.at("y").getFloat(), expected) << "step " << n;
+  }
+}
+
+TEST(Diagram, FeedbackWithoutTypedDelayFailsTypeInference) {
+  Diagram d("bad");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId sum = d.add<SumBlock>("sum", std::vector<int>{1, 1});
+  const BlockId delay = d.add<DelayBlock>("z");  // no declared type
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, 0, sum, 0);
+  d.connect(delay, 0, sum, 1);
+  d.connect(sum, 0, delay, 0);
+  d.connect(sum, out);
+  EXPECT_THROW((void)d.compile(), ToolchainError);
+}
+
+TEST(Diagram, DelayDeclaredTypeMismatchRejected) {
+  Diagram d("bad");
+  const BlockId in =
+      d.add<InputBlock>("u", Type::array(ScalarKind::Float64, {4}));
+  const BlockId delay = d.add<DelayBlock>("z", Type::float64());
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, delay);
+  d.connect(delay, out);
+  EXPECT_THROW((void)d.compile(), ToolchainError);
+}
+
+TEST(Diagram, FanOutIsAllowed) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId g1 = d.add<GainBlock>("g1", 2.0);
+  const BlockId g2 = d.add<GainBlock>("g2", 3.0);
+  const BlockId o1 = d.add<OutputBlock>("y1");
+  const BlockId o2 = d.add<OutputBlock>("y2");
+  d.connect(in, g1);
+  d.connect(in, g2);
+  d.connect(g1, o1);
+  d.connect(g2, o2);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["u"] = ir::Value::scalarFloat(1.0);
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_DOUBLE_EQ(env.at("y1").getFloat(), 2.0);
+  EXPECT_DOUBLE_EQ(env.at("y2").getFloat(), 3.0);
+}
+
+TEST(Diagram, DuplicateBlockNamesGetUniqueVariables) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId g1 = d.add<GainBlock>("stage", 2.0);
+  const BlockId g2 = d.add<GainBlock>("stage", 3.0);
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, g1);
+  d.connect(g1, g2);
+  d.connect(g2, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["u"] = ir::Value::scalarFloat(1.0);
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_DOUBLE_EQ(env.at("y").getFloat(), 6.0);
+}
+
+TEST(Diagram, CompiledFunctionValidates) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::array(ScalarKind::Float64, {8}));
+  const BlockId g = d.add<GainBlock>("g", 2.0);
+  const BlockId r = d.add<ReduceBlock>("r", ReduceBlock::Op::Sum);
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, g);
+  d.connect(g, r);
+  d.connect(r, out);
+  CompiledModel model = d.compile();
+  EXPECT_TRUE(ir::validate(*model.fn).empty());
+  EXPECT_EQ(model.fn->name(), "t");
+}
+
+TEST(Diagram, StatementsCarryBlockLabels) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId g = d.add<GainBlock>("preamp", 2.0);
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, g);
+  d.connect(g, out);
+  CompiledModel model = d.compile();
+  bool sawLabel = false;
+  for (const ir::StmtPtr& s : model.fn->body().stmts()) {
+    if (s->label == "preamp") sawLabel = true;
+  }
+  EXPECT_TRUE(sawLabel);
+}
+
+TEST(Diagram, StateUpdatesRunAfterAllUses) {
+  // u -> delay -> y1 and u -> g -> y2: the delay state update must not
+  // clobber anything the rest of the step still reads. Structure check:
+  // the epilogue statements are last.
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId delay = d.add<DelayBlock>("z");
+  const BlockId out = d.add<OutputBlock>("y");
+  d.connect(in, delay);
+  d.connect(delay, out);
+  CompiledModel model = d.compile();
+  const auto& stmts = model.fn->body().stmts();
+  ASSERT_GE(stmts.size(), 2u);
+  EXPECT_NE(stmts.back()->label.find("_update"), std::string::npos);
+}
+
+TEST(Diagram, SanitizesHostileNames) {
+  Diagram d("9 weird name!");
+  const BlockId in = d.add<InputBlock>("in put", Type::float64());
+  const BlockId out = d.add<OutputBlock>("out-put");
+  d.connect(in, out);
+  CompiledModel model = d.compile();
+  EXPECT_TRUE(ir::validate(*model.fn).empty());
+  // Input variable name must be a sanitized identifier present in decls.
+  bool foundInput = false;
+  for (const auto& decl : model.fn->decls()) {
+    if (decl.role == ir::VarRole::Input) {
+      foundInput = true;
+      for (char c : decl.name) {
+        EXPECT_TRUE((std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_');
+      }
+    }
+  }
+  EXPECT_TRUE(foundInput);
+}
+
+}  // namespace
+}  // namespace argo::model

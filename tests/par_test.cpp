@@ -1,0 +1,193 @@
+// Unit tests for the explicit parallel program model.
+#include <gtest/gtest.h>
+
+#include "htg/htg.h"
+#include "ir/builder.h"
+#include "par/parallel_program.h"
+#include "sched/scheduler.h"
+#include "support/diagnostics.h"
+
+namespace argo::par {
+namespace {
+
+using ir::ScalarKind;
+using ir::Type;
+using ir::VarRole;
+
+std::unique_ptr<ir::Function> makeChainFn() {
+  auto fn = std::make_unique<ir::Function>("chain");
+  fn->declare("u", Type::array(ScalarKind::Float64, {8}), VarRole::Input);
+  fn->declare("a", Type::array(ScalarKind::Float64, {8}), VarRole::Temp);
+  fn->declare("y", Type::array(ScalarKind::Float64, {8}), VarRole::Output);
+  auto body1 = ir::block();
+  body1->append(ir::assign(ir::ref("a", ir::exprVec(ir::var("i"))),
+                           ir::mul(ir::ref("u", ir::exprVec(ir::var("i"))),
+                                   ir::flt(2.0))));
+  fn->body().append(ir::forLoop("i", 0, 8, std::move(body1)));
+  auto body2 = ir::block();
+  body2->append(ir::assign(ir::ref("y", ir::exprVec(ir::var("j"))),
+                           ir::add(ir::ref("a", ir::exprVec(ir::var("j"))),
+                                   ir::flt(1.0))));
+  fn->body().append(ir::forLoop("j", 0, 8, std::move(body2)));
+  return fn;
+}
+
+struct Built {
+  std::unique_ptr<ir::Function> fn;
+  htg::TaskGraph graph;
+  adl::Platform platform;
+  sched::Schedule schedule;
+  std::vector<sched::TaskTiming> timings;
+  ParallelProgram program;
+
+  explicit Built(int chunks = 2, int cores = 4)
+      : fn(makeChainFn()),
+        graph(htg::expand(htg::buildHtg(*fn), htg::ExpandOptions{chunks})),
+        platform(adl::makeRecoreXentiumBus(cores)) {
+    sched::Scheduler scheduler(graph, platform);
+    schedule = scheduler.run(sched::SchedOptions{});
+    timings = scheduler.timings();
+    program = buildParallelProgram(graph, schedule, platform);
+  }
+};
+
+TEST(ParallelProgram, EveryTaskExecutedExactlyOnce) {
+  Built built;
+  std::vector<int> executions(built.graph.tasks.size(), 0);
+  for (const CoreProgram& core : built.program.cores) {
+    for (const ParOp& op : core.ops) {
+      if (op.kind == OpKind::Execute) {
+        executions[static_cast<std::size_t>(op.task)] += 1;
+        // And on the scheduled tile.
+        EXPECT_EQ(core.tile,
+                  built.schedule.placements[static_cast<std::size_t>(op.task)]
+                      .tile);
+      }
+    }
+  }
+  for (int count : executions) EXPECT_EQ(count, 1);
+}
+
+TEST(ParallelProgram, EventsOnlyForCrossTileDeps) {
+  Built built;
+  for (const Event& e : built.program.events) {
+    EXPECT_NE(e.producerTile, e.consumerTile);
+    EXPECT_GT(e.bytes, 0);
+  }
+  // Each cross-tile dependence has exactly one event.
+  std::size_t crossDeps = 0;
+  for (const htg::Dep& d : built.graph.deps) {
+    const int fromTile =
+        built.schedule.placements[static_cast<std::size_t>(d.from)].tile;
+    const int toTile =
+        built.schedule.placements[static_cast<std::size_t>(d.to)].tile;
+    if (fromTile != toTile) ++crossDeps;
+  }
+  EXPECT_EQ(built.program.events.size(), crossDeps);
+}
+
+TEST(ParallelProgram, WaitsPrecedeExecuteSignalsFollow) {
+  Built built;
+  for (const CoreProgram& core : built.program.cores) {
+    for (std::size_t k = 0; k < core.ops.size(); ++k) {
+      const ParOp& op = core.ops[k];
+      if (op.kind == OpKind::Wait) {
+        // The next non-wait op must be the consumer's Execute.
+        std::size_t j = k;
+        while (j < core.ops.size() && core.ops[j].kind == OpKind::Wait) ++j;
+        ASSERT_LT(j, core.ops.size());
+        EXPECT_EQ(core.ops[j].kind, OpKind::Execute);
+        EXPECT_EQ(core.ops[j].task,
+                  built.program.event(op.event).consumerTask);
+      }
+      if (op.kind == OpKind::Signal) {
+        // Some earlier op on this core is the producer's Execute.
+        bool found = false;
+        for (std::size_t j = 0; j < k; ++j) {
+          if (core.ops[j].kind == OpKind::Execute &&
+              core.ops[j].task ==
+                  built.program.event(op.event).producerTask) {
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+TEST(AddressMap, CoversAllVariables) {
+  Built built;
+  for (const ir::VarDecl& d : built.fn->decls()) {
+    ASSERT_TRUE(built.program.addresses.contains(d.name)) << d.name;
+    const AddressEntry& entry = built.program.addresses.at(d.name);
+    EXPECT_EQ(entry.bytes, d.type.byteSize());
+    EXPECT_EQ(entry.storage, d.storage);
+  }
+}
+
+TEST(AddressMap, SharedEntriesAlignedAndDisjoint) {
+  Built built;
+  std::vector<const AddressEntry*> shared;
+  for (const auto& [name, entry] : built.program.addresses) {
+    if (entry.storage == ir::Storage::Shared) shared.push_back(&entry);
+  }
+  std::sort(shared.begin(), shared.end(),
+            [](const AddressEntry* a, const AddressEntry* b) {
+              return a->address < b->address;
+            });
+  for (std::size_t k = 0; k < shared.size(); ++k) {
+    EXPECT_EQ(shared[k]->address % 8, 0);
+    if (k > 0) {
+      EXPECT_GE(shared[k]->address,
+                shared[k - 1]->address + shared[k - 1]->bytes);
+    }
+  }
+}
+
+TEST(AddressMap, SharedOverflowRejected) {
+  auto fn = makeChainFn();
+  // A platform with absurdly small shared memory.
+  std::vector<adl::Tile> tiles = {adl::Tile{0, adl::CoreModel::xentiumDsp()}};
+  adl::BusModel bus;
+  const adl::Platform tiny("tiny", std::move(tiles), bus, /*sharedMem=*/64);
+  const htg::TaskGraph graph =
+      htg::expand(htg::buildHtg(*fn), htg::ExpandOptions{1});
+  sched::Scheduler scheduler(graph, tiny);
+  const sched::Schedule schedule = scheduler.run(sched::SchedOptions{});
+  EXPECT_THROW((void)buildParallelProgram(graph, schedule, tiny),
+               support::ToolchainError);
+}
+
+TEST(CodeGen, EmitsWaitSignalAndTaskCode) {
+  Built built;
+  bool sawWait = false;
+  bool sawSignal = false;
+  bool sawLoop = false;
+  for (int tile = 0; tile < built.platform.coreCount(); ++tile) {
+    const std::string source = emitCoreSource(built.program, tile);
+    if (source.find("argo_wait(") != std::string::npos) sawWait = true;
+    if (source.find("argo_signal(") != std::string::npos) sawSignal = true;
+    if (source.find("for (") != std::string::npos) sawLoop = true;
+  }
+  EXPECT_EQ(sawWait, !built.program.events.empty());
+  EXPECT_EQ(sawSignal, !built.program.events.empty());
+  EXPECT_TRUE(sawLoop);
+}
+
+TEST(ParallelProgram, SyncOverheadPositive) {
+  Built built;
+  EXPECT_GT(built.program.syncOverhead, 0);
+}
+
+TEST(ParallelProgram, MismatchedScheduleRejected) {
+  Built built;
+  sched::Schedule broken = built.schedule;
+  broken.placements.pop_back();
+  EXPECT_THROW(
+      (void)buildParallelProgram(built.graph, broken, built.platform),
+      support::ToolchainError);
+}
+
+}  // namespace
+}  // namespace argo::par

@@ -1,0 +1,119 @@
+// Property-based suites over randomly generated structured programs:
+//   P1. The two WCET engines (schema, CFG/IPET) agree exactly.
+//   P2. The static bound dominates every metered interpretation.
+//   P3. The whole pipeline (HTG -> schedule -> parallel program -> system
+//       WCET) is safe against the simulator, and chunked parallel
+//       execution computes the same values as sequential execution.
+#include <gtest/gtest.h>
+
+#include "htg/htg.h"
+#include "par/parallel_program.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "syswcet/system_wcet.h"
+#include "testutil.h"
+#include "wcet/analyzer.h"
+
+namespace argo {
+namespace {
+
+class RandomProgram : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomProgram, SchemaAndCfgEnginesAgree) {
+  test::ProgramGenerator gen(GetParam());
+  const auto fn = gen.generate("p");
+  ASSERT_TRUE(ir::validate(*fn).empty());
+  const adl::Platform platform = adl::makeRecoreXentiumBus(2);
+  const wcet::TimingModel model = wcet::TimingModel::forTile(platform, 0);
+  const adl::Cycles schema =
+      wcet::SchemaAnalyzer(*fn, model).analyzeFunction().cycles;
+  const adl::Cycles cfg = wcet::CfgAnalyzer(*fn, model).analyzeFunction();
+  EXPECT_EQ(schema, cfg);
+}
+
+TEST_P(RandomProgram, BoundDominatesExecution) {
+  test::ProgramGenerator gen(GetParam() * 31 + 7);
+  const auto fn = gen.generate("p");
+  const adl::Platform platform = adl::makeRecoreXentiumBus(2);
+  const wcet::TimingModel model = wcet::TimingModel::forTile(platform, 0);
+  const adl::Cycles bound =
+      wcet::SchemaAnalyzer(*fn, model).analyzeFunction().cycles;
+
+  for (int trial = 0; trial < 5; ++trial) {
+    ir::Environment env = gen.makeInputs(*fn);
+    ir::CountingMeter meter;
+    ir::Evaluator(*fn).run(env, &meter);
+    adl::Cycles metered = 0;
+    for (int c = 0; c < ir::kOpClassCount; ++c) {
+      const auto op = static_cast<ir::OpClass>(c);
+      metered += meter.ops()[op] * model.opCost(op);
+    }
+    for (ir::Storage s : {ir::Storage::Local, ir::Storage::Scratchpad,
+                          ir::Storage::Shared}) {
+      metered += (meter.reads(s) + meter.writes(s)) * model.accessCost(s);
+    }
+    EXPECT_LE(metered, bound) << "trial " << trial;
+  }
+}
+
+TEST_P(RandomProgram, PipelineSafeAndValuePreserving) {
+  test::ProgramGenerator gen(GetParam() * 101 + 13);
+  const auto fn = gen.generate("p");
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+
+  const htg::Htg htg = htg::buildHtg(*fn);
+  for (int chunks : {1, 3}) {
+    const htg::TaskGraph graph = htg::expand(htg, htg::ExpandOptions{chunks});
+    sched::Scheduler scheduler(graph, platform);
+    const sched::Schedule schedule = scheduler.run(sched::SchedOptions{});
+    ASSERT_TRUE(sched::validateSchedule(schedule, graph, platform,
+                                        scheduler.timings())
+                    .empty());
+    const par::ParallelProgram program =
+        par::buildParallelProgram(graph, schedule, platform);
+    const syswcet::SystemWcet bound =
+        syswcet::analyzeSystem(program, platform, scheduler.timings());
+
+    sim::Simulator simulator(program, platform);
+    ir::Environment simEnv = gen.makeInputs(*fn);
+    ir::Environment refEnv = simEnv;
+    const sim::StepResult observed = simulator.step(simEnv);
+    EXPECT_LE(observed.makespan, bound.makespan)
+        << "chunks " << chunks;
+
+    ir::Evaluator(*fn).run(refEnv);
+    EXPECT_TRUE(test::outputsMatch(*fn, refEnv, simEnv))
+        << "chunks " << chunks;
+  }
+}
+
+TEST_P(RandomProgram, MhpConsistentWithSchedule) {
+  // Tasks placed on the same tile are never MHP; MHP is symmetric and
+  // irreflexive.
+  test::ProgramGenerator gen(GetParam() * 997 + 3);
+  const auto fn = gen.generate("p");
+  const adl::Platform platform = adl::makeRecoreXentiumBus(3);
+  const htg::TaskGraph graph =
+      htg::expand(htg::buildHtg(*fn), htg::ExpandOptions{2});
+  sched::Scheduler scheduler(graph, platform);
+  const sched::Schedule schedule = scheduler.run(sched::SchedOptions{});
+  const par::ParallelProgram program =
+      par::buildParallelProgram(graph, schedule, platform);
+  const auto mhp = syswcet::mayHappenInParallel(program);
+  const std::size_t n = graph.tasks.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(mhp[i][i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(mhp[i][j], mhp[j][i]);
+      if (schedule.placements[i].tile == schedule.placements[j].tile) {
+        EXPECT_FALSE(mhp[i][j]) << i << "," << j << " share a tile";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomProgram,
+                         ::testing::Range<std::uint64_t>(1, 16));
+
+}  // namespace
+}  // namespace argo

@@ -1,0 +1,73 @@
+// Unit tests for the cross-layer interface renderings.
+#include <gtest/gtest.h>
+
+#include "apps/polka.h"
+#include "core/report.h"
+
+namespace argo::core {
+namespace {
+
+const ToolchainResult& polkaResult() {
+  static const ToolchainResult result = [] {
+    apps::PolkaConfig config;
+    config.mosaicH = 16;
+    config.mosaicW = 16;
+    const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+    return Toolchain(platform, ToolchainOptions{})
+        .run(apps::buildPolkaDiagram(config));
+  }();
+  return result;
+}
+
+TEST(Report, GanttCoversUsedTiles) {
+  const std::string gantt = renderGantt(polkaResult());
+  for (std::size_t tile = 0;
+       tile < polkaResult().schedule.tileOrder.size(); ++tile) {
+    const bool used = !polkaResult().schedule.tileOrder[tile].empty();
+    const std::string label = "tile " + std::to_string(tile);
+    EXPECT_EQ(gantt.find(label) != std::string::npos, used) << label;
+  }
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+TEST(Report, GanttRespectsColumnBudget) {
+  const std::string gantt = renderGantt(polkaResult(), 40);
+  std::istringstream lines(gantt);
+  std::string line;
+  std::getline(lines, line);  // header
+  while (std::getline(lines, line)) {
+    const std::size_t open = line.find('|');
+    const std::size_t close = line.rfind('|');
+    ASSERT_NE(open, std::string::npos);
+    EXPECT_EQ(close - open - 1, 40u);
+  }
+}
+
+TEST(Report, MhpMatrixIsSymmetricallyRendered) {
+  const std::string matrix = renderMhpMatrix(polkaResult());
+  // One row per task plus two header lines.
+  const std::size_t taskCount = polkaResult().graph->tasks.size();
+  std::size_t rows = 0;
+  std::istringstream lines(matrix);
+  std::string line;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, taskCount + 2);
+  // Task names appear.
+  EXPECT_NE(matrix.find(polkaResult().graph->tasks[0].name),
+            std::string::npos);
+}
+
+TEST(Report, BottlenecksListInterferenceAndContenders) {
+  const std::string table = renderBottlenecks(polkaResult(), 5);
+  EXPECT_NE(table.find("bottlenecks"), std::string::npos);
+  EXPECT_NE(table.find("x"), std::string::npos);  // contender marker
+  EXPECT_NE(table.find("total interference share"), std::string::npos);
+}
+
+TEST(Report, BottleneckTopNHonored) {
+  const std::string table = renderBottlenecks(polkaResult(), 3);
+  EXPECT_NE(table.find("top 3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace argo::core

@@ -1,0 +1,254 @@
+// Unit tests for the scheduling/mapping policies.
+#include <gtest/gtest.h>
+
+#include "htg/htg.h"
+#include "ir/builder.h"
+#include "sched/scheduler.h"
+#include "support/diagnostics.h"
+
+namespace argo::sched {
+namespace {
+
+using ir::ScalarKind;
+using ir::Type;
+using ir::VarRole;
+
+/// Diamond: source -> {left, right} -> sink over shared arrays.
+std::unique_ptr<ir::Function> makeDiamondFn(int width = 16) {
+  auto fn = std::make_unique<ir::Function>("diamond");
+  fn->declare("u", Type::array(ScalarKind::Float64, {width}), VarRole::Input);
+  fn->declare("a", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
+  fn->declare("l", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
+  fn->declare("r", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
+  fn->declare("y", Type::array(ScalarKind::Float64, {width}),
+              VarRole::Output);
+  auto loop = [&](const char* out, const char* in, double k,
+                  const char* var) {
+    auto body = ir::block();
+    body->append(ir::assign(
+        ir::ref(out, ir::exprVec(ir::var(var))),
+        ir::mul(ir::ref(in, ir::exprVec(ir::var(var))), ir::flt(k))));
+    return ir::forLoop(var, 0, width, std::move(body));
+  };
+  fn->body().append(loop("a", "u", 2.0, "i0"));
+  fn->body().append(loop("l", "a", 3.0, "i1"));
+  fn->body().append(loop("r", "a", 5.0, "i2"));
+  auto body = ir::block();
+  body->append(ir::assign(
+      ir::ref("y", ir::exprVec(ir::var("i3"))),
+      ir::add(ir::ref("l", ir::exprVec(ir::var("i3"))),
+              ir::ref("r", ir::exprVec(ir::var("i3"))))));
+  fn->body().append(ir::forLoop("i3", 0, width, std::move(body)));
+  return fn;
+}
+
+struct Fixture {
+  std::unique_ptr<ir::Function> fn;
+  htg::TaskGraph graph;
+  adl::Platform platform;
+
+  explicit Fixture(int chunks = 1, int cores = 4)
+      : fn(makeDiamondFn()),
+        graph(htg::expand(htg::buildHtg(*fn), htg::ExpandOptions{chunks})),
+        platform(adl::makeRecoreXentiumBus(cores)) {}
+};
+
+TEST(Timings, PositiveAndTileIndexed) {
+  Fixture fx;
+  const auto timings = computeTaskTimings(fx.graph, fx.platform);
+  ASSERT_EQ(timings.size(), fx.graph.tasks.size());
+  for (const TaskTiming& t : timings) {
+    ASSERT_EQ(t.wcetByTile.size(), 4u);
+    for (Cycles c : t.wcetByTile) EXPECT_GT(c, 0);
+    EXPECT_GT(t.sharedAccesses, 0);  // everything lives in shared memory
+  }
+}
+
+TEST(Timings, HeterogeneousTilesDiffer) {
+  Fixture fx;
+  const adl::Platform hetero = adl::makeKitLeon3Inoc(2, 2, /*accel=*/true);
+  // Build a math-heavy graph to see the difference.
+  auto fn = std::make_unique<ir::Function>("mathy");
+  fn->declare("y", Type::float64(), VarRole::Output, ir::Storage::Local);
+  auto body = ir::block();
+  body->append(ir::assign(ir::ref("y"), ir::un(ir::UnOpKind::Sin,
+                                               ir::var("y"))));
+  fn->body().append(ir::forLoop("i", 0, 32, std::move(body)));
+  const htg::TaskGraph graph =
+      htg::expand(htg::buildHtg(*fn), htg::ExpandOptions{1});
+  const auto timings = computeTaskTimings(graph, hetero);
+  EXPECT_LT(timings[0].wcetByTile[3], timings[0].wcetByTile[0]);
+}
+
+TEST(Heft, ProducesValidSchedule) {
+  for (int chunks : {1, 2, 4}) {
+    Fixture fx(chunks);
+    Scheduler scheduler(fx.graph, fx.platform);
+    SchedOptions options;
+    const Schedule schedule = scheduler.run(options);
+    const auto problems = validateSchedule(schedule, fx.graph, fx.platform,
+                                           scheduler.timings());
+    EXPECT_TRUE(problems.empty())
+        << "chunks " << chunks << ": " << problems.front();
+    EXPECT_GT(schedule.makespan, 0);
+  }
+}
+
+TEST(Heft, UsesMultipleTilesWhenParallelismExists) {
+  Fixture fx(/*chunks=*/4);
+  Scheduler scheduler(fx.graph, fx.platform);
+  const Schedule schedule = scheduler.run(SchedOptions{});
+  EXPECT_GT(schedule.tilesUsed, 1);
+}
+
+TEST(Heft, CoreLimitRestrictsTiles) {
+  Fixture fx(/*chunks=*/4, /*cores=*/8);
+  Scheduler scheduler(fx.graph, fx.platform);
+  SchedOptions options;
+  options.coreLimit = 2;
+  const Schedule schedule = scheduler.run(options);
+  for (const Placement& p : schedule.placements) EXPECT_LT(p.tile, 2);
+}
+
+TEST(Heft, MoreCoresNeverWorseEstimate) {
+  Cycles prev = std::numeric_limits<Cycles>::max();
+  for (int cores : {1, 2, 4}) {
+    Fixture fx(/*chunks=*/4, cores);
+    Scheduler scheduler(fx.graph, fx.platform);
+    SchedOptions options;
+    options.interferenceAware = false;  // pure makespan comparison
+    const Schedule schedule = scheduler.run(options);
+    EXPECT_LE(schedule.makespan, prev) << cores << " cores";
+    prev = schedule.makespan;
+  }
+}
+
+TEST(ContentionOblivious, IgnoresInterference) {
+  Fixture fx(/*chunks=*/4);
+  Scheduler scheduler(fx.graph, fx.platform);
+  SchedOptions aware;
+  aware.policy = Policy::Heft;
+  SchedOptions oblivious;
+  oblivious.policy = Policy::ContentionOblivious;
+  const Schedule a = scheduler.run(aware);
+  const Schedule b = scheduler.run(oblivious);
+  EXPECT_EQ(b.policy, "contention_oblivious");
+  // Both are structurally valid.
+  EXPECT_TRUE(validateSchedule(a, fx.graph, fx.platform,
+                               scheduler.timings()).empty());
+  EXPECT_TRUE(validateSchedule(b, fx.graph, fx.platform,
+                               scheduler.timings()).empty());
+}
+
+TEST(BnB, OptimalOnSmallGraphs) {
+  Fixture fx(/*chunks=*/2);  // 8 tasks
+  ASSERT_LE(fx.graph.tasks.size(), 14u);
+  Scheduler scheduler(fx.graph, fx.platform);
+  SchedOptions heftOpt;
+  heftOpt.interferenceAware = false;
+  const Schedule heft = scheduler.run(heftOpt);
+  SchedOptions bnbOpt;
+  bnbOpt.policy = Policy::BranchAndBound;
+  bnbOpt.interferenceAware = false;
+  const Schedule bnb = scheduler.run(bnbOpt);
+  EXPECT_TRUE(validateSchedule(bnb, fx.graph, fx.platform,
+                               scheduler.timings()).empty());
+  // Exact search can never be worse than the heuristic.
+  EXPECT_LE(bnb.makespan, heft.makespan);
+}
+
+TEST(BnB, FallsBackOnLargeGraphs) {
+  Fixture fx(/*chunks=*/8);  // > bnbTaskLimit tasks
+  Scheduler scheduler(fx.graph, fx.platform);
+  SchedOptions options;
+  options.policy = Policy::BranchAndBound;
+  options.bnbTaskLimit = 10;
+  const Schedule schedule = scheduler.run(options);
+  EXPECT_NE(schedule.policy.find("fallback"), std::string::npos);
+  EXPECT_TRUE(validateSchedule(schedule, fx.graph, fx.platform,
+                               scheduler.timings()).empty());
+}
+
+TEST(Annealed, NeverWorseThanSeedAndValid) {
+  Fixture fx(/*chunks=*/4);
+  Scheduler scheduler(fx.graph, fx.platform);
+  SchedOptions heftOpt;
+  const Schedule heft = scheduler.run(heftOpt);
+  SchedOptions saOpt;
+  saOpt.policy = Policy::Annealed;
+  saOpt.saIterations = 300;
+  const Schedule sa = scheduler.run(saOpt);
+  EXPECT_LE(sa.makespan, heft.makespan);
+  EXPECT_TRUE(validateSchedule(sa, fx.graph, fx.platform,
+                               scheduler.timings()).empty());
+}
+
+TEST(Annealed, DeterministicForSeed) {
+  Fixture fx(/*chunks=*/4);
+  Scheduler scheduler(fx.graph, fx.platform);
+  SchedOptions options;
+  options.policy = Policy::Annealed;
+  options.saIterations = 200;
+  options.seed = 42;
+  const Schedule a = scheduler.run(options);
+  const Schedule b = scheduler.run(options);
+  EXPECT_EQ(a.makespan, b.makespan);
+  for (std::size_t i = 0; i < a.placements.size(); ++i) {
+    EXPECT_EQ(a.placements[i].tile, b.placements[i].tile);
+  }
+}
+
+TEST(Validate, DetectsOverlap) {
+  Fixture fx;
+  Scheduler scheduler(fx.graph, fx.platform);
+  Schedule schedule = scheduler.run(SchedOptions{});
+  // Force two tasks onto the same tile at the same time.
+  if (schedule.placements.size() >= 2) {
+    schedule.placements[1].tile = schedule.placements[0].tile;
+    schedule.placements[1].start = schedule.placements[0].start;
+    schedule.placements[1].finish = schedule.placements[0].finish;
+    EXPECT_FALSE(validateSchedule(schedule, fx.graph, fx.platform,
+                                  scheduler.timings()).empty());
+  }
+}
+
+TEST(Validate, DetectsDependenceViolation) {
+  Fixture fx;
+  Scheduler scheduler(fx.graph, fx.platform);
+  Schedule schedule = scheduler.run(SchedOptions{});
+  // Move a consumer before its producer.
+  ASSERT_FALSE(fx.graph.deps.empty());
+  const htg::Dep& dep = fx.graph.deps.front();
+  schedule.placements[static_cast<std::size_t>(dep.to)].start = 0;
+  schedule.placements[static_cast<std::size_t>(dep.to)].finish = 1;
+  EXPECT_FALSE(validateSchedule(schedule, fx.graph, fx.platform,
+                                scheduler.timings()).empty());
+}
+
+TEST(Validate, DetectsTooShortTask) {
+  Fixture fx;
+  Scheduler scheduler(fx.graph, fx.platform);
+  Schedule schedule = scheduler.run(SchedOptions{});
+  schedule.placements[0].finish = schedule.placements[0].start;  // 0 length
+  EXPECT_FALSE(validateSchedule(schedule, fx.graph, fx.platform,
+                                scheduler.timings()).empty());
+}
+
+TEST(CommCost, ZeroWhenColocated) {
+  Fixture fx;
+  htg::Dep dep;
+  dep.bytes = 128;
+  EXPECT_EQ(commCost(fx.platform, dep, 1, 1), 0);
+  EXPECT_GT(commCost(fx.platform, dep, 0, 1), 0);
+}
+
+TEST(Scheduler, ThrowsOnEmptyGraph) {
+  Fixture fx;
+  htg::TaskGraph empty;
+  empty.fn = fx.fn.get();
+  Scheduler scheduler(empty, fx.platform);
+  EXPECT_THROW((void)scheduler.run(SchedOptions{}), support::ToolchainError);
+}
+
+}  // namespace
+}  // namespace argo::sched

@@ -1,0 +1,261 @@
+// Unit tests for the Scilab-subset front end: lexing, parsing, semantics,
+// 1-based indexing, precedence, and error reporting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/blocks.h"
+#include "model/diagram.h"
+#include "model/scilab.h"
+#include "support/diagnostics.h"
+
+namespace argo::model {
+namespace {
+
+using ir::ScalarKind;
+using ir::Type;
+using scilab::PortSpec;
+using support::ToolchainError;
+
+/// Compiles a one-in/one-out Scilab block and evaluates it.
+double runScalarScript(const std::string& source, double input) {
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const BlockId blk = d.add<ScilabBlock>(
+      "s", source, std::vector<PortSpec>{{"u", Type::float64()}},
+      std::vector<PortSpec>{{"y", Type::float64()}});
+  const BlockId out = d.add<OutputBlock>("yout");
+  d.connect(in, blk);
+  d.connect(blk, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["u"] = ir::Value::scalarFloat(input);
+  ir::Evaluator(*model.fn).run(env);
+  return env.at("yout").getFloat();
+}
+
+TEST(Scilab, SimpleAssignment) {
+  EXPECT_DOUBLE_EQ(runScalarScript("y = u * 2.0 + 1.0\n", 3.0), 7.0);
+}
+
+TEST(Scilab, SemicolonSeparators) {
+  EXPECT_DOUBLE_EQ(runScalarScript("t = u + 1.0; y = t * t\n", 2.0), 9.0);
+}
+
+TEST(Scilab, CommentsIgnored) {
+  EXPECT_DOUBLE_EQ(
+      runScalarScript("// doubles the input\ny = u * 2.0 // done\n", 2.0),
+      4.0);
+}
+
+TEST(Scilab, OperatorPrecedence) {
+  EXPECT_DOUBLE_EQ(runScalarScript("y = 2.0 + 3.0 * 4.0\n", 0.0), 14.0);
+  EXPECT_DOUBLE_EQ(runScalarScript("y = (2.0 + 3.0) * 4.0\n", 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(runScalarScript("y = 10.0 - 4.0 - 3.0\n", 0.0), 3.0);
+}
+
+TEST(Scilab, PowerBindsTighterThanUnaryMinus) {
+  // Scilab semantics: -x^2 == -(x^2).
+  EXPECT_DOUBLE_EQ(runScalarScript("y = -u^2\n", 3.0), -9.0);
+  EXPECT_DOUBLE_EQ(runScalarScript("y = exp(-u^2)\n", 2.0), std::exp(-4.0));
+}
+
+TEST(Scilab, PowerRightAssociativeAndGeneral) {
+  EXPECT_DOUBLE_EQ(runScalarScript("y = 2.0^3.0\n", 0.0), 8.0);
+  EXPECT_NEAR(runScalarScript("y = u^0.5\n", 16.0), 4.0, 1e-12);
+}
+
+TEST(Scilab, ComparisonAndLogic) {
+  EXPECT_DOUBLE_EQ(
+      runScalarScript("y = 0.0\nif u > 1.0 & u < 3.0 then y = 1.0 end\n", 2.0),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      runScalarScript("y = 0.0\nif u < 1.0 | u > 3.0 then y = 1.0 end\n", 2.0),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      runScalarScript("y = 0.0\nif ~(u == 2.0) then y = 1.0 end\n", 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      runScalarScript("y = 0.0\nif u ~= 2.0 then y = 1.0 end\n", 5.0), 1.0);
+}
+
+TEST(Scilab, IfElse) {
+  const std::string src =
+      "if u >= 0.0 then\n  y = 1.0\nelse\n  y = -1.0\nend\n";
+  EXPECT_DOUBLE_EQ(runScalarScript(src, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(runScalarScript(src, -5.0), -1.0);
+}
+
+TEST(Scilab, ForLoopInclusiveRange) {
+  // sum of 1..10 = 55.
+  EXPECT_DOUBLE_EQ(
+      runScalarScript("y = 0.0\nfor i = 1:10\n  y = y + float(i)\nend\n", 0.0),
+      55.0);
+}
+
+TEST(Scilab, ForLoopConstantExprBounds) {
+  EXPECT_DOUBLE_EQ(
+      runScalarScript("y = 0.0\nfor i = 1:2*3\n  y = y + 1.0\nend\n", 0.0),
+      6.0);
+}
+
+TEST(Scilab, NonConstantLoopBoundRejected) {
+  EXPECT_THROW(runScalarScript("for i = 1:u\n  y = 1.0\nend\n", 3.0),
+               ToolchainError);
+}
+
+TEST(Scilab, LocalArraysAndOneBasedIndexing) {
+  const std::string src =
+      "local buf(4)\n"
+      "for i = 1:4\n  buf(i) = float(i) * 10.0\nend\n"
+      "y = buf(1) + buf(4)\n";
+  EXPECT_DOUBLE_EQ(runScalarScript(src, 0.0), 50.0);
+}
+
+TEST(Scilab, TwoDimensionalLocals) {
+  const std::string src =
+      "local m(2,3)\n"
+      "for r = 1:2\n  for c = 1:3\n    m(r,c) = float(r*10 + c)\n  end\nend\n"
+      "y = m(2,3)\n";
+  EXPECT_DOUBLE_EQ(runScalarScript(src, 0.0), 23.0);
+}
+
+TEST(Scilab, ImplicitScalarLocals) {
+  EXPECT_DOUBLE_EQ(runScalarScript("t = u + 1.0\ny = t * 2.0\n", 2.0), 6.0);
+}
+
+TEST(Scilab, MathIntrinsics) {
+  EXPECT_NEAR(runScalarScript("y = sin(u)\n", 0.5), std::sin(0.5), 1e-12);
+  EXPECT_NEAR(runScalarScript("y = atan2(u, 2.0)\n", 1.0),
+              std::atan2(1.0, 2.0), 1e-12);
+  EXPECT_NEAR(runScalarScript("y = hypot(u, 4.0)\n", 3.0), 5.0, 1e-12);
+  EXPECT_DOUBLE_EQ(runScalarScript("y = min(u, 2.0)\n", 5.0), 2.0);
+  EXPECT_DOUBLE_EQ(runScalarScript("y = max(u, 2.0)\n", 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(runScalarScript("y = abs(u)\n", -3.0), 3.0);
+  EXPECT_DOUBLE_EQ(runScalarScript("y = floor(u)\n", 2.9), 2.0);
+  EXPECT_NEAR(runScalarScript("y = modulo(u, 3.0)\n", 7.0), 1.0, 1e-12);
+}
+
+TEST(Scilab, PiConstant) {
+  EXPECT_NEAR(runScalarScript("y = cos(pi)\n", 0.0), -1.0, 1e-12);
+}
+
+TEST(Scilab, ScientificNotation) {
+  EXPECT_DOUBLE_EQ(runScalarScript("y = 1.5e2 + u\n", 0.0), 150.0);
+  EXPECT_DOUBLE_EQ(runScalarScript("y = 2E-2\n", 0.0), 0.02);
+}
+
+TEST(Scilab, ErrorsCarryLineNumbers) {
+  try {
+    (void)scilab::parseScript("y = 1.0\nz = $bad\n",
+                              {{"y", Type::float64()}});
+    FAIL() << "expected ToolchainError";
+  } catch (const ToolchainError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Scilab, UnknownVariableRejected) {
+  EXPECT_THROW(
+      (void)scilab::parseScript("y = nope\n", {{"y", Type::float64()}}),
+      ToolchainError);
+}
+
+TEST(Scilab, IndexedWriteToUndeclaredRejected) {
+  EXPECT_THROW(
+      (void)scilab::parseScript("arr(3) = 1.0\n", {{"y", Type::float64()}}),
+      ToolchainError);
+}
+
+TEST(Scilab, DuplicateLocalRejected) {
+  EXPECT_THROW((void)scilab::parseScript("local t\nlocal t\n",
+                                         {{"y", Type::float64()}}),
+               ToolchainError);
+}
+
+TEST(Scilab, LocalShadowingPortRejected) {
+  EXPECT_THROW(
+      (void)scilab::parseScript("local y\n", {{"y", Type::float64()}}),
+      ToolchainError);
+}
+
+TEST(Scilab, WrongIntrinsicArityRejected) {
+  EXPECT_THROW(
+      (void)scilab::parseScript("y = sin(1.0, 2.0)\n",
+                                {{"y", Type::float64()}}),
+      ToolchainError);
+  EXPECT_THROW(
+      (void)scilab::parseScript("y = atan2(1.0)\n", {{"y", Type::float64()}}),
+      ToolchainError);
+}
+
+TEST(Scilab, MissingEndRejected) {
+  EXPECT_THROW(
+      (void)scilab::parseScript("for i = 1:3\n  y = 1.0\n",
+                                {{"y", Type::float64()}}),
+      ToolchainError);
+}
+
+TEST(ScilabBlock, ArrayPorts) {
+  Diagram d("t");
+  const Type vecT = Type::array(ScalarKind::Float64, {4});
+  const BlockId in = d.add<InputBlock>("u", vecT);
+  const BlockId blk = d.add<ScilabBlock>(
+      "rev",
+      "for i = 1:4\n  y(i) = u(5 - i)\nend\n",
+      std::vector<PortSpec>{{"u", vecT}},
+      std::vector<PortSpec>{{"y", vecT}});
+  const BlockId out = d.add<OutputBlock>("yout");
+  d.connect(in, blk);
+  d.connect(blk, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["u"] = ir::Value::floats(vecT, {1.0, 2.0, 3.0, 4.0});
+  ir::Evaluator(*model.fn).run(env);
+  EXPECT_DOUBLE_EQ(env.at("yout").getFloat(0), 4.0);
+  EXPECT_DOUBLE_EQ(env.at("yout").getFloat(3), 1.0);
+}
+
+TEST(ScilabBlock, PortTypeMismatchRejected) {
+  Diagram d("t");
+  const BlockId in =
+      d.add<InputBlock>("u", Type::array(ScalarKind::Float64, {3}));
+  const BlockId blk = d.add<ScilabBlock>(
+      "s", "y = u\n",
+      std::vector<PortSpec>{{"u", Type::float64()}},  // expects scalar
+      std::vector<PortSpec>{{"y", Type::float64()}});
+  const BlockId out = d.add<OutputBlock>("yout");
+  d.connect(in, blk);
+  d.connect(blk, out);
+  EXPECT_THROW((void)d.compile(), ToolchainError);
+}
+
+TEST(ScilabBlock, TwoInstancesDoNotCollide) {
+  // The same script instantiated twice must get independent locals.
+  Diagram d("t");
+  const BlockId in = d.add<InputBlock>("u", Type::float64());
+  const std::string src = "t = u + 1.0\ny = t * 2.0\n";
+  const std::vector<PortSpec> ins = {{"u", Type::float64()}};
+  const std::vector<PortSpec> outs = {{"y", Type::float64()}};
+  const BlockId b1 = d.add<ScilabBlock>("stage", src, ins, outs);
+  const BlockId b2 = d.add<ScilabBlock>("stage", src, ins, outs);
+  const BlockId out = d.add<OutputBlock>("yout");
+  d.connect(in, b1);
+  d.connect(b1, b2);
+  d.connect(b2, out);
+  CompiledModel model = d.compile();
+  ir::Environment env = model.makeEnvironment();
+  env["u"] = ir::Value::scalarFloat(1.0);
+  ir::Evaluator(*model.fn).run(env);
+  // stage(stage(1)) = ((1+1)*2 + 1) * 2 = 10.
+  EXPECT_DOUBLE_EQ(env.at("yout").getFloat(), 10.0);
+}
+
+TEST(ScilabBlock, ParseFailureAtConstruction) {
+  EXPECT_THROW(ScilabBlock("bad", "y = (",
+                           std::vector<PortSpec>{},
+                           std::vector<PortSpec>{{"y", Type::float64()}}),
+               ToolchainError);
+}
+
+}  // namespace
+}  // namespace argo::model

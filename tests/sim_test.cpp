@@ -1,0 +1,198 @@
+// Unit tests for the discrete-event timing simulator.
+#include <gtest/gtest.h>
+
+#include "htg/htg.h"
+#include "ir/builder.h"
+#include "par/parallel_program.h"
+#include "sched/scheduler.h"
+#include "sim/simulator.h"
+#include "support/rng.h"
+#include "syswcet/system_wcet.h"
+
+namespace argo::sim {
+namespace {
+
+using ir::ScalarKind;
+using ir::Type;
+using ir::VarRole;
+
+std::unique_ptr<ir::Function> makeWorkFn(int width = 16) {
+  auto fn = std::make_unique<ir::Function>("work");
+  fn->declare("u", Type::array(ScalarKind::Float64, {width}), VarRole::Input);
+  fn->declare("a", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
+  fn->declare("y", Type::array(ScalarKind::Float64, {width}),
+              VarRole::Output);
+  auto body1 = ir::block();
+  body1->append(ir::assign(
+      ir::ref("a", ir::exprVec(ir::var("i"))),
+      ir::sqrtE(ir::un(ir::UnOpKind::Abs,
+                       ir::ref("u", ir::exprVec(ir::var("i")))))));
+  fn->body().append(ir::forLoop("i", 0, width, std::move(body1)));
+  auto body2 = ir::block();
+  body2->append(ir::assign(ir::ref("y", ir::exprVec(ir::var("j"))),
+                           ir::add(ir::ref("a", ir::exprVec(ir::var("j"))),
+                                   ir::flt(1.0))));
+  fn->body().append(ir::forLoop("j", 0, width, std::move(body2)));
+  return fn;
+}
+
+struct Built {
+  std::unique_ptr<ir::Function> fn;
+  htg::TaskGraph graph;
+  adl::Platform platform;
+  std::vector<sched::TaskTiming> timings;
+  par::ParallelProgram program;
+
+  Built(const adl::Platform& plat, int chunks)
+      : fn(makeWorkFn()),
+        graph(htg::expand(htg::buildHtg(*fn), htg::ExpandOptions{chunks})),
+        platform(plat) {
+    sched::Scheduler scheduler(graph, platform);
+    const sched::Schedule schedule = scheduler.run(sched::SchedOptions{});
+    timings = scheduler.timings();
+    program = par::buildParallelProgram(graph, schedule, platform);
+  }
+};
+
+ir::Environment makeInputs(const ir::Function& fn, std::uint64_t seed) {
+  support::Rng rng(seed);
+  ir::Environment env = ir::makeZeroEnvironment(fn);
+  ir::Value& u = env.at("u");
+  for (std::int64_t k = 0; k < u.size(); ++k) {
+    u.setFloat(k, rng.uniformDouble() * 10.0 - 5.0);
+  }
+  return env;
+}
+
+TEST(Simulator, ProducesCorrectValues) {
+  const Built built(adl::makeRecoreXentiumBus(4), /*chunks=*/4);
+  ir::Environment simEnv = makeInputs(*built.fn, 1);
+  ir::Environment refEnv = simEnv;
+  Simulator simulator(built.program, built.platform);
+  (void)simulator.step(simEnv);
+  ir::Evaluator(*built.fn).run(refEnv);
+  EXPECT_TRUE(refEnv.at("y").approxEquals(simEnv.at("y")));
+}
+
+TEST(Simulator, DeterministicForSameInputs) {
+  const Built built(adl::makeRecoreXentiumBus(4), /*chunks=*/4);
+  Simulator simulator(built.program, built.platform);
+  ir::Environment envA = makeInputs(*built.fn, 2);
+  ir::Environment envB = makeInputs(*built.fn, 2);
+  const StepResult a = simulator.step(envA);
+  const StepResult b = simulator.step(envB);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.totalSharedAccesses, b.totalSharedAccesses);
+}
+
+TEST(Simulator, TaskTracesAreOrderedAndCounted) {
+  const Built built(adl::makeRecoreXentiumBus(4), /*chunks=*/2);
+  Simulator simulator(built.program, built.platform);
+  ir::Environment env = makeInputs(*built.fn, 3);
+  const StepResult result = simulator.step(env);
+  for (const TaskTrace& t : result.tasks) {
+    EXPECT_LE(t.start, t.finish);
+    EXPECT_GE(t.sharedAccesses, 0);
+  }
+  EXPECT_GT(result.totalSharedAccesses, 0);
+  EXPECT_GT(result.makespan, 0);
+}
+
+TEST(Simulator, RespectsHappensBefore) {
+  const Built built(adl::makeRecoreXentiumBus(4), /*chunks=*/4);
+  Simulator simulator(built.program, built.platform);
+  ir::Environment env = makeInputs(*built.fn, 4);
+  const StepResult result = simulator.step(env);
+  for (const htg::Dep& dep : built.graph.deps) {
+    EXPECT_LE(result.tasks[static_cast<std::size_t>(dep.from)].finish,
+              result.tasks[static_cast<std::size_t>(dep.to)].start + 1)
+        << dep.from << "->" << dep.to;
+  }
+}
+
+/// The central safety property: observed <= static bound, across
+/// platforms, granularities and inputs.
+class SafetySweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(SafetySweep, ObservedNeverExceedsBound) {
+  const int platformKind = std::get<0>(GetParam());
+  const int chunks = std::get<1>(GetParam());
+  const std::uint64_t seed = std::get<2>(GetParam());
+  const adl::Platform platform =
+      platformKind == 0   ? adl::makeRecoreXentiumBus(4)
+      : platformKind == 1 ? adl::makeRecoreXentiumBus(4,
+                                                      adl::Arbitration::Tdma)
+                          : adl::makeKitLeon3Inoc(2, 2);
+  const Built built(platform, chunks);
+  const syswcet::SystemWcet bound = syswcet::analyzeSystem(
+      built.program, built.platform, built.timings);
+  Simulator simulator(built.program, built.platform);
+  ir::Environment env = makeInputs(*built.fn, seed);
+  const StepResult observed = simulator.step(env);
+  EXPECT_LE(observed.makespan, bound.makespan);
+  // Per-task windows are bounded too.
+  for (std::size_t i = 0; i < observed.tasks.size(); ++i) {
+    EXPECT_LE(observed.tasks[i].finish - observed.tasks[i].start,
+              bound.tasks[i].inflated)
+        << "task " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PlatformsChunksSeeds, SafetySweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(11u, 22u, 33u)));
+
+TEST(Simulator, TdmaSlowerThanRoundRobinUncontended) {
+  // With little contention, TDMA's wheel wait dominates; round-robin is
+  // work-conserving.
+  const Built rr(adl::makeRecoreXentiumBus(4), /*chunks=*/1);
+  const Built tdma(adl::makeRecoreXentiumBus(4, adl::Arbitration::Tdma),
+                   /*chunks=*/1);
+  Simulator simRr(rr.program, rr.platform);
+  Simulator simTdma(tdma.program, tdma.platform);
+  ir::Environment envA = makeInputs(*rr.fn, 5);
+  ir::Environment envB = makeInputs(*tdma.fn, 5);
+  EXPECT_LT(simRr.step(envA).makespan, simTdma.step(envB).makespan);
+}
+
+TEST(Simulator, StallsAppearUnderContention) {
+  const Built built(adl::makeRecoreXentiumBus(4), /*chunks=*/4);
+  Simulator simulator(built.program, built.platform);
+  ir::Environment env = makeInputs(*built.fn, 6);
+  const StepResult result = simulator.step(env);
+  if (built.program.schedule.tilesUsed > 1) {
+    EXPECT_GT(result.totalStall, 0);
+  }
+}
+
+TEST(Simulator, StatePersistsBetweenSteps) {
+  // Repeated steps accumulate state exactly like the plain interpreter.
+  const Built built(adl::makeRecoreXentiumBus(4), /*chunks=*/2);
+  Simulator simulator(built.program, built.platform);
+  ir::Environment simEnv = makeInputs(*built.fn, 7);
+  ir::Environment refEnv = simEnv;
+  for (int step = 0; step < 3; ++step) {
+    (void)simulator.step(simEnv);
+    ir::Evaluator(*built.fn).run(refEnv);
+  }
+  EXPECT_TRUE(refEnv.at("y").approxEquals(simEnv.at("y")));
+}
+
+TEST(NonSharedCost, PricesMeterAgainstCore) {
+  ir::CountingMeter meter;
+  meter.onOp(ir::OpClass::FloatMul);
+  meter.onOp(ir::OpClass::FloatMul);
+  meter.onAccess(ir::Storage::Local, false);
+  meter.onAccess(ir::Storage::Scratchpad, true);
+  meter.onAccess(ir::Storage::Shared, true);  // excluded
+  const adl::CoreModel core = adl::CoreModel::leon3();
+  const Cycles expected = 2 * core.cyclesFor(ir::OpClass::FloatMul) +
+                          core.localAccessCycles + core.spmAccessCycles;
+  EXPECT_EQ(nonSharedCost(meter, core), expected);
+}
+
+}  // namespace
+}  // namespace argo::sim

@@ -1,0 +1,179 @@
+// Unit tests for the system-level WCET analysis: MHP and interference.
+#include <gtest/gtest.h>
+
+#include "htg/htg.h"
+#include "ir/builder.h"
+#include "par/parallel_program.h"
+#include "sched/scheduler.h"
+#include "syswcet/system_wcet.h"
+
+namespace argo::syswcet {
+namespace {
+
+using ir::ScalarKind;
+using ir::Type;
+using ir::VarRole;
+
+/// Two independent parallel loops (no cross dependence) + a joining sum.
+std::unique_ptr<ir::Function> makeForkJoinFn() {
+  auto fn = std::make_unique<ir::Function>("forkjoin");
+  fn->declare("u", Type::array(ScalarKind::Float64, {16}), VarRole::Input);
+  fn->declare("a", Type::array(ScalarKind::Float64, {16}), VarRole::Temp);
+  fn->declare("b", Type::array(ScalarKind::Float64, {16}), VarRole::Temp);
+  fn->declare("y", Type::array(ScalarKind::Float64, {16}), VarRole::Output);
+  auto loop = [&](const char* out, double k, const char* v) {
+    auto body = ir::block();
+    body->append(ir::assign(
+        ir::ref(out, ir::exprVec(ir::var(v))),
+        ir::mul(ir::ref("u", ir::exprVec(ir::var(v))), ir::flt(k))));
+    return ir::forLoop(v, 0, 16, std::move(body));
+  };
+  fn->body().append(loop("a", 2.0, "i0"));
+  fn->body().append(loop("b", 3.0, "i1"));
+  auto body = ir::block();
+  body->append(ir::assign(
+      ir::ref("y", ir::exprVec(ir::var("i2"))),
+      ir::add(ir::ref("a", ir::exprVec(ir::var("i2"))),
+              ir::ref("b", ir::exprVec(ir::var("i2"))))));
+  fn->body().append(ir::forLoop("i2", 0, 16, std::move(body)));
+  return fn;
+}
+
+struct Built {
+  std::unique_ptr<ir::Function> fn;
+  htg::TaskGraph graph;
+  adl::Platform platform;
+  std::vector<sched::TaskTiming> timings;
+  par::ParallelProgram program;
+
+  explicit Built(int chunks = 1, int cores = 4)
+      : fn(makeForkJoinFn()),
+        graph(htg::expand(htg::buildHtg(*fn), htg::ExpandOptions{chunks})),
+        platform(adl::makeRecoreXentiumBus(cores)) {
+    sched::Scheduler scheduler(graph, platform);
+    const sched::Schedule schedule = scheduler.run(sched::SchedOptions{});
+    timings = scheduler.timings();
+    program = par::buildParallelProgram(graph, schedule, platform);
+  }
+};
+
+TEST(Mhp, OrderedTasksAreNotMhp) {
+  Built built;
+  const auto mhp = mayHappenInParallel(built.program);
+  // Task 2 (join) depends on 0 and 1: never MHP with them.
+  EXPECT_FALSE(mhp[0][2]);
+  EXPECT_FALSE(mhp[2][0]);
+  EXPECT_FALSE(mhp[1][2]);
+}
+
+TEST(Mhp, IndependentTasksOnDifferentTilesAreMhp) {
+  Built built;
+  const auto mhp = mayHappenInParallel(built.program);
+  const int tile0 = built.program.schedule.placements[0].tile;
+  const int tile1 = built.program.schedule.placements[1].tile;
+  if (tile0 != tile1) {
+    EXPECT_TRUE(mhp[0][1]);
+    EXPECT_TRUE(mhp[1][0]);  // symmetric
+  } else {
+    // Same core: program order serializes them.
+    EXPECT_FALSE(mhp[0][1]);
+  }
+}
+
+TEST(Mhp, NoSelfMhp) {
+  Built built;
+  const auto mhp = mayHappenInParallel(built.program);
+  for (std::size_t i = 0; i < mhp.size(); ++i) EXPECT_FALSE(mhp[i][i]);
+}
+
+TEST(SystemWcet, BoundsAreOrdered) {
+  // uncontended (impossible) <= MHP-refined <= all-contenders.
+  Built built(/*chunks=*/4);
+  const SystemWcet refined = analyzeSystem(
+      built.program, built.platform, built.timings,
+      InterferenceMethod::MhpRefined);
+  const SystemWcet pessimistic = analyzeSystem(
+      built.program, built.platform, built.timings,
+      InterferenceMethod::AllContenders);
+  EXPECT_LE(refined.makespan, pessimistic.makespan);
+  EXPECT_GT(refined.makespan, 0);
+}
+
+TEST(SystemWcet, TaskWindowsRespectHappensBefore) {
+  Built built(/*chunks=*/2);
+  const SystemWcet result = analyzeSystem(built.program, built.platform,
+                                          built.timings);
+  for (const htg::Dep& dep : built.graph.deps) {
+    const TaskBound& from = result.tasks[static_cast<std::size_t>(dep.from)];
+    const TaskBound& to = result.tasks[static_cast<std::size_t>(dep.to)];
+    EXPECT_LE(from.finish, to.start)
+        << "dep " << dep.from << "->" << dep.to;
+  }
+}
+
+TEST(SystemWcet, InflationIncludesInterferenceAndSync) {
+  Built built(/*chunks=*/4);
+  const SystemWcet result = analyzeSystem(built.program, built.platform,
+                                          built.timings);
+  for (std::size_t i = 0; i < result.tasks.size(); ++i) {
+    const Cycles codeLevel =
+        built.timings[i].wcetByTile[static_cast<std::size_t>(
+            built.program.schedule.placements[i].tile)];
+    EXPECT_GE(result.tasks[i].inflated, codeLevel);
+    EXPECT_GE(result.tasks[i].interference, 0);
+  }
+}
+
+TEST(SystemWcet, SingleCoreHasNoInterference) {
+  Built built(/*chunks=*/1, /*cores=*/1);
+  const SystemWcet result = analyzeSystem(built.program, built.platform,
+                                          built.timings);
+  for (const TaskBound& t : result.tasks) {
+    EXPECT_EQ(t.contenders, 1);
+    EXPECT_EQ(t.interference, 0);
+  }
+}
+
+TEST(SystemWcet, ContendersBoundedByCoreCount) {
+  Built built(/*chunks=*/8, /*cores=*/4);
+  const SystemWcet result = analyzeSystem(built.program, built.platform,
+                                          built.timings);
+  for (const TaskBound& t : result.tasks) {
+    EXPECT_LE(t.contenders, 4);
+    EXPECT_GE(t.contenders, 1);
+  }
+}
+
+TEST(SystemWcet, MakespanIsMaxFinish) {
+  Built built(/*chunks=*/2);
+  const SystemWcet result = analyzeSystem(built.program, built.platform,
+                                          built.timings);
+  Cycles maxFinish = 0;
+  for (const TaskBound& t : result.tasks) {
+    maxFinish = std::max(maxFinish, t.finish);
+  }
+  EXPECT_EQ(result.makespan, maxFinish);
+}
+
+TEST(SystemWcet, TdmaBoundIndependentOfMhp) {
+  // On a TDMA bus the two methods price accesses identically (the wheel
+  // does not care about live contenders), so the bounds coincide.
+  auto fn = makeForkJoinFn();
+  const adl::Platform tdma =
+      adl::makeRecoreXentiumBus(4, adl::Arbitration::Tdma);
+  const htg::TaskGraph graph =
+      htg::expand(htg::buildHtg(*fn), htg::ExpandOptions{4});
+  sched::Scheduler scheduler(graph, tdma);
+  const sched::Schedule schedule = scheduler.run(sched::SchedOptions{});
+  const par::ParallelProgram program =
+      par::buildParallelProgram(graph, schedule, tdma);
+  const SystemWcet refined = analyzeSystem(program, tdma,
+                                           scheduler.timings(),
+                                           InterferenceMethod::MhpRefined);
+  const SystemWcet pessimistic = analyzeSystem(
+      program, tdma, scheduler.timings(), InterferenceMethod::AllContenders);
+  EXPECT_EQ(refined.makespan, pessimistic.makespan);
+}
+
+}  // namespace
+}  // namespace argo::syswcet

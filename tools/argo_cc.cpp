@@ -1,0 +1,211 @@
+// argo_cc — command-line driver for the ARGO tool-chain.
+//
+// Runs the full flow (Fig. 1) on one of the built-in use-case models and a
+// platform that is either built in or loaded from a textual ADL file, then
+// prints the requested reports. Exit code 0 iff the pipeline succeeded and
+// (when --simulate is given) every simulated step stayed within the bound.
+//
+//   argo_cc --app polka --platform bus --cores 8 --report gantt,bottlenecks
+//   argo_cc --app egpws --adl myplatform.adl --simulate 5 --report code:0
+//
+// Options:
+//   --app NAME          egpws | weaa | polka            (default egpws)
+//   --platform NAME     bus | bus-tdma | noc            (default bus)
+//   --cores N           core count / mesh size           (default 8)
+//   --adl FILE          load the platform from an ADL file (overrides
+//                       --platform/--cores)
+//   --policy NAME       heft | bnb | annealed | oblivious (default heft)
+//   --chunks N          fix the granularity (default: feedback explores)
+//   --no-spm            disable scratchpad allocation
+//   --no-transforms     disable the transformation passes
+//   --simulate N        simulate N steps and check them against the bound
+//   --report LIST       comma list: summary,gantt,mhp,bottlenecks,code:TILE
+//                       (default summary)
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "adl/parser.h"
+#include "apps/egpws.h"
+#include "apps/polka.h"
+#include "apps/weaa.h"
+#include "core/report.h"
+#include "core/toolchain.h"
+#include "sim/simulator.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace argo;
+
+struct Options {
+  std::string app = "egpws";
+  std::string platform = "bus";
+  std::string adlFile;
+  std::string policy = "heft";
+  int cores = 8;
+  int chunks = 0;
+  bool spm = true;
+  bool transforms = true;
+  int simulate = 0;
+  std::vector<std::string> reports = {"summary"};
+};
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--app egpws|weaa|polka] [--platform bus|bus-tdma|"
+               "noc] [--cores N]\n"
+               "          [--adl FILE] [--policy heft|bnb|annealed|oblivious]"
+               " [--chunks N]\n"
+               "          [--no-spm] [--no-transforms] [--simulate N]\n"
+               "          [--report summary,gantt,mhp,bottlenecks,code:TILE]\n",
+               argv0);
+  std::exit(2);
+}
+
+Options parseArgs(int argc, char** argv) {
+  Options options;
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--app") options.app = value(i);
+    else if (arg == "--platform") options.platform = value(i);
+    else if (arg == "--adl") options.adlFile = value(i);
+    else if (arg == "--policy") options.policy = value(i);
+    else if (arg == "--cores") options.cores = std::stoi(value(i));
+    else if (arg == "--chunks") options.chunks = std::stoi(value(i));
+    else if (arg == "--no-spm") options.spm = false;
+    else if (arg == "--no-transforms") options.transforms = false;
+    else if (arg == "--simulate") options.simulate = std::stoi(value(i));
+    else if (arg == "--report") options.reports = support::split(value(i), ',');
+    else usage(argv[0]);
+  }
+  return options;
+}
+
+adl::Platform makePlatform(const Options& options) {
+  if (!options.adlFile.empty()) {
+    std::ifstream in(options.adlFile);
+    if (!in) {
+      throw support::ToolchainError("cannot open ADL file '" +
+                                    options.adlFile + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return adl::parseAdl(text.str());
+  }
+  if (options.platform == "bus") {
+    return adl::makeRecoreXentiumBus(options.cores);
+  }
+  if (options.platform == "bus-tdma") {
+    return adl::makeRecoreXentiumBus(options.cores, adl::Arbitration::Tdma);
+  }
+  if (options.platform == "noc") {
+    // Nearest mesh that holds the requested core count.
+    int width = 1;
+    while (width * width < options.cores) ++width;
+    return adl::makeKitLeon3Inoc(width, (options.cores + width - 1) / width);
+  }
+  throw support::ToolchainError("unknown platform '" + options.platform + "'");
+}
+
+model::Diagram makeApp(const std::string& app) {
+  if (app == "egpws") return apps::buildEgpwsDiagram(apps::EgpwsConfig{});
+  if (app == "weaa") return apps::buildWeaaDiagram(apps::WeaaConfig{});
+  if (app == "polka") return apps::buildPolkaDiagram(apps::PolkaConfig{});
+  throw support::ToolchainError("unknown app '" + app + "'");
+}
+
+void setAppInputs(const std::string& app, ir::Environment& env,
+                  std::uint64_t seed) {
+  if (app == "egpws") {
+    apps::EgpwsInputs in;
+    in.heading = 0.4 + 0.1 * static_cast<double>(seed % 7);
+    apps::setEgpwsInputs(env, in);
+  } else if (app == "weaa") {
+    apps::WeaaInputs in;
+    in.oy = -40.0 + 10.0 * static_cast<double>(seed % 9);
+    apps::setWeaaInputs(env, in);
+  } else {
+    apps::setPolkaInputs(env, apps::PolkaConfig{},
+                         apps::makePolkaFrame(apps::PolkaConfig{}, seed));
+  }
+}
+
+sched::Policy parsePolicy(const std::string& name) {
+  if (name == "heft") return sched::Policy::Heft;
+  if (name == "bnb") return sched::Policy::BranchAndBound;
+  if (name == "annealed") return sched::Policy::Annealed;
+  if (name == "oblivious") return sched::Policy::ContentionOblivious;
+  throw support::ToolchainError("unknown policy '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options options = parseArgs(argc, argv);
+    const adl::Platform platform = makePlatform(options);
+
+    core::ToolchainOptions toolchainOptions;
+    toolchainOptions.sched.policy = parsePolicy(options.policy);
+    toolchainOptions.sched.interferenceAware =
+        toolchainOptions.sched.policy != sched::Policy::ContentionOblivious;
+    toolchainOptions.spmAllocation = options.spm;
+    toolchainOptions.runTransforms = options.transforms;
+    if (options.chunks > 0) {
+      toolchainOptions.chunkCandidates = {options.chunks};
+    }
+
+    const core::Toolchain toolchain(platform, toolchainOptions);
+    const core::ToolchainResult result = toolchain.run(makeApp(options.app));
+
+    for (const std::string& report : options.reports) {
+      if (report == "summary") {
+        std::printf("%s\n", result.reportText().c_str());
+      } else if (report == "gantt") {
+        std::printf("%s\n", core::renderGantt(result).c_str());
+      } else if (report == "mhp") {
+        std::printf("%s\n", core::renderMhpMatrix(result).c_str());
+      } else if (report == "bottlenecks") {
+        std::printf("%s\n", core::renderBottlenecks(result).c_str());
+      } else if (support::startsWith(report, "code:")) {
+        const int tile = std::stoi(report.substr(5));
+        std::printf("%s\n", par::emitCoreSource(result.program, tile).c_str());
+      } else if (!report.empty()) {
+        std::fprintf(stderr, "unknown report '%s'\n", report.c_str());
+        return 2;
+      }
+    }
+
+    if (options.simulate > 0) {
+      sim::Simulator simulator(result.program, platform);
+      ir::Environment env = ir::makeZeroEnvironment(*result.fn);
+      for (const auto& [name, value] : result.constants) env[name] = value;
+      bool allSafe = true;
+      for (int step = 0; step < options.simulate; ++step) {
+        setAppInputs(options.app, env, static_cast<std::uint64_t>(step));
+        const sim::StepResult observed = simulator.step(env);
+        const bool safe = observed.makespan <= result.system.makespan;
+        allSafe = allSafe && safe;
+        std::printf("step %d: observed %lld / bound %lld cycles  %s\n", step,
+                    static_cast<long long>(observed.makespan),
+                    static_cast<long long>(result.system.makespan),
+                    safe ? "ok" : "BOUND VIOLATED");
+      }
+      if (!allSafe) return 1;
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "argo_cc: %s\n", error.what());
+    return 1;
+  }
+}
