@@ -1,9 +1,12 @@
 #include "core/toolchain.h"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
+#include <thread>
 
 #include "support/strings.h"
+#include "support/thread_pool.h"
 #include "transform/const_fold.h"
 #include "transform/loop_transforms.h"
 #include "transform/spm_alloc.h"
@@ -89,7 +92,13 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   }
 
   // ---- Cross-layer feedback: schedule each candidate, measure its
-  // system-level WCET, keep the best (Section II-E). ----
+  // system-level WCET, keep the best (Section II-E). Candidates are
+  // independent (each owns its expanded graph; htg/platform are only
+  // read), so they are evaluated concurrently on a work-stealing pool.
+  // Determinism: every candidate writes into its own slot, and the
+  // reduction below walks the slots in ladder order with a strict `<`, so
+  // the chosen candidate, the FeedbackPoint sequence, and the report are
+  // bit-identical to a sequential evaluation. ----
   struct Candidate {
     int chunks;
     int coreLimit;  // 0 = unrestricted
@@ -100,37 +109,76 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   plans.push_back(Candidate{1, 1});
   for (int chunks : candidates) plans.push_back(Candidate{chunks, 0});
 
+  struct PlanEval {
+    bool feasible = false;
+    std::unique_ptr<htg::TaskGraph> graph;
+    std::vector<sched::TaskTiming> timings;
+    sched::Schedule schedule;
+    syswcet::SystemWcet system;
+  };
+
+  const auto evaluatePlan = [&](const Candidate& plan) {
+    PlanEval eval;
+    htg::ExpandOptions expand;
+    expand.chunksPerLoop = plan.chunks;
+    expand.mergeScalarChains = options_.mergeScalarChains;
+    eval.graph = std::make_unique<htg::TaskGraph>(htg::expand(htg, expand));
+    if (eval.graph->tasks.size() > 31 &&
+        options_.sched.policy == sched::Policy::BranchAndBound) {
+      return eval;  // exact search cannot represent this candidate
+    }
+    sched::SchedOptions schedOptions = options_.sched;
+    if (plan.coreLimit > 0) schedOptions.coreLimit = plan.coreLimit;
+    sched::Scheduler scheduler(*eval.graph, platform_);
+    eval.schedule = scheduler.run(schedOptions);
+    par::ParallelProgram program =
+        par::buildParallelProgram(*eval.graph, eval.schedule, platform_);
+    eval.system = syswcet::analyzeSystem(program, platform_,
+                                         scheduler.timings(),
+                                         options_.interference);
+    eval.timings = scheduler.timings();
+    eval.feasible = true;
+    return eval;
+  };
+
   bool haveBest = false;
+  // Ladder-order reduction step: identical for both paths, so the choice
+  // (strict `<`, first minimum wins) matches the sequential semantics.
+  const auto consume = [&](std::size_t i, PlanEval eval) {
+    if (!eval.feasible) return;
+    result.feedback.push_back(FeedbackPoint{
+        plans[i].chunks, plans[i].coreLimit, eval.system.makespan,
+        static_cast<int>(eval.graph->tasks.size())});
+    if (!haveBest || eval.system.makespan < result.system.makespan) {
+      haveBest = true;
+      result.graph = std::move(eval.graph);
+      result.timings = std::move(eval.timings);
+      result.schedule = std::move(eval.schedule);
+      result.system = std::move(eval.system);
+      result.chosenChunks = plans[i].chunks;
+    }
+  };
+
   clock.time("schedule_and_system_wcet", [&] {
-    for (const Candidate& plan : plans) {
-      htg::ExpandOptions expand;
-      expand.chunksPerLoop = plan.chunks;
-      expand.mergeScalarChains = options_.mergeScalarChains;
-      auto graph = std::make_unique<htg::TaskGraph>(htg::expand(htg, expand));
-      if (graph->tasks.size() > 31 &&
-          options_.sched.policy == sched::Policy::BranchAndBound) {
-        continue;  // exact search cannot represent this candidate
+    unsigned threads = options_.explorationThreads > 0
+                           ? static_cast<unsigned>(options_.explorationThreads)
+                           : std::max(1u, std::thread::hardware_concurrency());
+    threads = std::min(threads, static_cast<unsigned>(plans.size()));
+    if (threads <= 1) {
+      // Streaming: at most one candidate's graph alive besides the best.
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        consume(i, evaluatePlan(plans[i]));
       }
-      sched::SchedOptions schedOptions = options_.sched;
-      if (plan.coreLimit > 0) schedOptions.coreLimit = plan.coreLimit;
-      sched::Scheduler scheduler(*graph, platform_);
-      sched::Schedule schedule = scheduler.run(schedOptions);
-      par::ParallelProgram program =
-          par::buildParallelProgram(*graph, schedule, platform_);
-      syswcet::SystemWcet system = syswcet::analyzeSystem(
-          program, platform_, scheduler.timings(), options_.interference);
-
-      result.feedback.push_back(FeedbackPoint{
-          plan.chunks, plan.coreLimit, system.makespan,
-          static_cast<int>(graph->tasks.size())});
-
-      if (!haveBest || system.makespan < result.system.makespan) {
-        haveBest = true;
-        result.graph = std::move(graph);
-        result.timings = scheduler.timings();
-        result.schedule = std::move(schedule);
-        result.system = std::move(system);
-        result.chosenChunks = plan.chunks;
+    } else {
+      // The parallelFor caller is one of the executors, so spawn one
+      // fewer worker than the requested parallelism.
+      std::vector<PlanEval> evals(plans.size());
+      support::ThreadPool pool(threads - 1);
+      pool.parallelFor(plans.size(), [&](std::size_t i) {
+        evals[i] = evaluatePlan(plans[i]);
+      });
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        consume(i, std::move(evals[i]));
       }
     }
   });
@@ -148,7 +196,7 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   return result;
 }
 
-std::string ToolchainResult::reportText() const {
+std::string ToolchainResult::reportText(bool includeStageTimings) const {
   std::ostringstream os;
   os << "=== ARGO tool-chain report ===\n";
   os << "function:            " << fn->name() << "\n";
@@ -172,9 +220,11 @@ std::string ToolchainResult::reportText() const {
        << " systemWCET=" << support::formatCycles(p.systemWcet)
        << (p.systemWcet == system.makespan ? "  <== chosen" : "") << "\n";
   }
-  os << "stage timings:\n";
-  for (const StageTiming& s : stages) {
-    os << "  " << s.stage << ": " << s.milliseconds << " ms\n";
+  if (includeStageTimings) {
+    os << "stage timings:\n";
+    for (const StageTiming& s : stages) {
+      os << "  " << s.stage << ": " << s.milliseconds << " ms\n";
+    }
   }
   return os.str();
 }

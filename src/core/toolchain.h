@@ -41,6 +41,13 @@ struct ToolchainOptions {
   bool mergeScalarChains = true;
   syswcet::InterferenceMethod interference =
       syswcet::InterferenceMethod::MhpRefined;
+  /// Worker threads for the cross-layer feedback exploration: each
+  /// (chunks-per-loop x core-limit) candidate is scheduled and analyzed
+  /// independently, so they are evaluated on a work-stealing pool. 0 = one
+  /// per hardware thread, 1 = sequential in-place evaluation. The chosen
+  /// candidate, feedback ordering, and report are bit-identical either
+  /// way: candidates are reduced in ladder order after the parallel phase.
+  int explorationThreads = 0;
 };
 
 /// Wall-clock duration of one tool-chain stage (for E10).
@@ -88,8 +95,10 @@ struct ToolchainResult {
   int chosenChunks = 1;
 
   /// Multi-line human-readable summary (the cross-layer programming
-  /// interface of Section II-E, in text form).
-  [[nodiscard]] std::string reportText() const;
+  /// interface of Section II-E, in text form). Stage timings are
+  /// wall-clock and vary run to run; pass `includeStageTimings = false`
+  /// for a fully deterministic report (used by the determinism tests).
+  [[nodiscard]] std::string reportText(bool includeStageTimings = true) const;
 };
 
 /// Runs the full tool-chain on a compiled model.

@@ -137,7 +137,9 @@ TEST(Expand, ChunksCoverIterationSpaceExactly) {
     std::int64_t total = 0;
     for (std::size_t k = 0; k < ranges.size(); ++k) {
       EXPECT_LT(ranges[k].first, ranges[k].second);  // non-empty
-      if (k > 0) EXPECT_EQ(ranges[k].first, ranges[k - 1].second);
+      if (k > 0) {
+        EXPECT_EQ(ranges[k].first, ranges[k - 1].second);
+      }
       total += ranges[k].second - ranges[k].first;
     }
     EXPECT_EQ(total, 16);

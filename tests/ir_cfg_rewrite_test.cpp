@@ -62,7 +62,9 @@ TEST(Cfg, EmptyElseStillJoins) {
   // Must reach the exit regardless of branch direction.
   EXPECT_NO_THROW((void)cfg->topoOrder());
   for (const CfgNode& n : cfg->nodes()) {
-    if (n.kind == CfgNodeKind::Branch) EXPECT_EQ(n.succs.size(), 2u);
+    if (n.kind == CfgNodeKind::Branch) {
+      EXPECT_EQ(n.succs.size(), 2u);
+    }
   }
 }
 
