@@ -1,0 +1,106 @@
+// Infrastructure bench: sequential vs. pooled per-task timing analysis
+// (sched::computeTaskTimings) and MHP-based system analysis
+// (syswcet::analyzeSystem). Prints per-app wall-clock for both paths, the
+// speedup, and verifies the pooled tables and bounds are bit-identical.
+#include <chrono>
+#include <thread>
+
+#include "common.h"
+#include "htg/htg.h"
+#include "par/parallel_program.h"
+#include "sched/scheduler.h"
+#include "syswcet/system_wcet.h"
+
+namespace {
+
+using argo::bench::AppCase;
+using Clock = std::chrono::steady_clock;
+
+constexpr int kRepeats = 5;
+
+double msSince(Clock::time_point begin) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - begin)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  argo::bench::printHeader(
+      "bench_parallel_wcet: pooled per-task timing + system analysis",
+      "per-task WCET tables and MHP rows computed concurrently, "
+      "bit-identical results");
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const argo::adl::Platform platform = argo::adl::makeRecoreXentiumBus(8);
+  // A fine granularity so there are many independent tasks to distribute.
+  const int chunks = 16;
+
+  std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
+  std::printf("%-8s %6s  %-7s %10s %10s %8s  %s\n", "app", "tasks", "phase",
+              "seq(ms)", "pooled(ms)", "speedup", "identical?");
+
+  bool allIdentical = true;
+  for (AppCase& app : argo::bench::allApps()) {
+    const argo::model::CompiledModel model = app.diagram.compile();
+    const argo::htg::TaskGraph graph = argo::htg::expand(
+        argo::htg::buildHtg(*model.fn), argo::htg::ExpandOptions{chunks});
+
+    // --- Per-task code-level timing analysis. ---
+    std::vector<argo::sched::TaskTiming> seqTimings;
+    auto begin = Clock::now();
+    for (int r = 0; r < kRepeats; ++r) {
+      seqTimings = argo::sched::computeTaskTimings(graph, platform, 1);
+    }
+    const double seqTimingMs = msSince(begin);
+
+    std::vector<argo::sched::TaskTiming> pooledTimings;
+    begin = Clock::now();
+    for (int r = 0; r < kRepeats; ++r) {
+      pooledTimings = argo::sched::computeTaskTimings(graph, platform, 0);
+    }
+    const double pooledTimingMs = msSince(begin);
+
+    const bool timingsIdentical = seqTimings == pooledTimings;
+    allIdentical = allIdentical && timingsIdentical;
+    std::printf("%-8s %6zu  %-7s %10.2f %10.2f %7.2fx  %s\n", app.name.c_str(),
+                graph.tasks.size(), "timings", seqTimingMs, pooledTimingMs,
+                pooledTimingMs > 0.0 ? seqTimingMs / pooledTimingMs : 0.0,
+                timingsIdentical ? "yes" : "NO (BUG)");
+
+    // --- System-level analysis on the scheduled program. ---
+    const argo::sched::Scheduler scheduler(graph, platform);
+    const argo::sched::Schedule schedule =
+        scheduler.run(argo::sched::SchedOptions{});
+    const argo::par::ParallelProgram program =
+        argo::par::buildParallelProgram(graph, schedule, platform);
+
+    argo::syswcet::SystemWcet seqSystem;
+    begin = Clock::now();
+    for (int r = 0; r < kRepeats; ++r) {
+      seqSystem = argo::syswcet::analyzeSystem(
+          program, platform, scheduler.timings(),
+          argo::syswcet::InterferenceMethod::MhpRefined, 1);
+    }
+    const double seqSystemMs = msSince(begin);
+
+    argo::syswcet::SystemWcet pooledSystem;
+    begin = Clock::now();
+    for (int r = 0; r < kRepeats; ++r) {
+      pooledSystem = argo::syswcet::analyzeSystem(
+          program, platform, scheduler.timings(),
+          argo::syswcet::InterferenceMethod::MhpRefined, 0);
+    }
+    const double pooledSystemMs = msSince(begin);
+
+    const bool systemIdentical = seqSystem == pooledSystem;
+    allIdentical = allIdentical && systemIdentical;
+    std::printf("%-8s %6zu  %-7s %10.2f %10.2f %7.2fx  %s\n", app.name.c_str(),
+                graph.tasks.size(), "system", seqSystemMs, pooledSystemMs,
+                pooledSystemMs > 0.0 ? seqSystemMs / pooledSystemMs : 0.0,
+                systemIdentical ? "yes" : "NO (BUG)");
+  }
+
+  if (!allIdentical) return 1;
+  return 0;
+}

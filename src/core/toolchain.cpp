@@ -3,10 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <sstream>
-#include <thread>
 
+#include "support/parallel.h"
 #include "support/strings.h"
-#include "support/thread_pool.h"
 #include "transform/const_fold.h"
 #include "transform/loop_transforms.h"
 #include "transform/spm_alloc.h"
@@ -117,6 +116,12 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
     syswcet::SystemWcet system;
   };
 
+  // Exploration parallelism decided up front: candidates are the outer
+  // pooled phase, so every phase they invoke (timing analysis, annealing
+  // restarts, MHP rows) must stay sequential — pools do not nest.
+  const unsigned threads =
+      support::effectiveParallelism(options_.explorationThreads, plans.size());
+
   const auto evaluatePlan = [&](const Candidate& plan) {
     PlanEval eval;
     htg::ExpandOptions expand;
@@ -129,13 +134,19 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
     }
     sched::SchedOptions schedOptions = options_.sched;
     if (plan.coreLimit > 0) schedOptions.coreLimit = plan.coreLimit;
-    sched::Scheduler scheduler(*eval.graph, platform_);
+    // A pooled exploration owns the thread budget, so the per-candidate
+    // scheduler phases must stay inline; a sequential exploration lets the
+    // scheduler pool its own phases (results are identical either way).
+    if (threads > 1) schedOptions.parallelThreads = 1;
+    sched::Scheduler scheduler(*eval.graph, platform_,
+                               schedOptions.parallelThreads);
     eval.schedule = scheduler.run(schedOptions);
     par::ParallelProgram program =
         par::buildParallelProgram(*eval.graph, eval.schedule, platform_);
     eval.system = syswcet::analyzeSystem(program, platform_,
                                          scheduler.timings(),
-                                         options_.interference);
+                                         options_.interference,
+                                         schedOptions.parallelThreads);
     eval.timings = scheduler.timings();
     eval.feasible = true;
     return eval;
@@ -160,21 +171,15 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   };
 
   clock.time("schedule_and_system_wcet", [&] {
-    unsigned threads = options_.explorationThreads > 0
-                           ? static_cast<unsigned>(options_.explorationThreads)
-                           : std::max(1u, std::thread::hardware_concurrency());
-    threads = std::min(threads, static_cast<unsigned>(plans.size()));
     if (threads <= 1) {
       // Streaming: at most one candidate's graph alive besides the best.
       for (std::size_t i = 0; i < plans.size(); ++i) {
         consume(i, evaluatePlan(plans[i]));
       }
     } else {
-      // The parallelFor caller is one of the executors, so spawn one
-      // fewer worker than the requested parallelism.
       std::vector<PlanEval> evals(plans.size());
-      support::ThreadPool pool(threads - 1);
-      pool.parallelFor(plans.size(), [&](std::size_t i) {
+      support::parallelFor(plans.size(),
+                           static_cast<int>(threads), [&](std::size_t i) {
         evals[i] = evaluatePlan(plans[i]);
       });
       for (std::size_t i = 0; i < plans.size(); ++i) {

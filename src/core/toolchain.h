@@ -43,10 +43,13 @@ struct ToolchainOptions {
       syswcet::InterferenceMethod::MhpRefined;
   /// Worker threads for the cross-layer feedback exploration: each
   /// (chunks-per-loop x core-limit) candidate is scheduled and analyzed
-  /// independently, so they are evaluated on a work-stealing pool. 0 = one
-  /// per hardware thread, 1 = sequential in-place evaluation. The chosen
-  /// candidate, feedback ordering, and report are bit-identical either
-  /// way: candidates are reduced in ladder order after the parallel phase.
+  /// independently, so they are evaluated on a work-stealing pool through
+  /// the shared support::parallelFor layer. 0 = one per hardware thread, 1 = sequential
+  /// in-place evaluation. The chosen candidate, feedback ordering, and
+  /// report are bit-identical either way: candidates are reduced in ladder
+  /// order after the parallel phase. When the exploration is pooled, the
+  /// per-candidate scheduler runs its own phases sequentially (pools do
+  /// not nest), overriding sched.parallelThreads for the inner runs.
   int explorationThreads = 0;
 };
 

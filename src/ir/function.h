@@ -1,4 +1,17 @@
 // Functions, variable declarations and programs of the ARGO IR.
+//
+// A Function owns its body (a statement Block) and a symbol table of typed
+// variable declarations, each tagged with a role (input / output / state /
+// temp / constant) and a storage class (local / scratchpad / shared). The
+// symbol table is the single source of truth the whole tool-chain shares:
+// the evaluator allocates environments from it, the WCET analysis prices
+// accesses by its storage classes, the scratchpad allocator rewrites them,
+// and the task extractor derives communication volumes from them.
+//
+// Invariants: every VarRef in the body refers to a declared variable;
+// declarations are unique by name; clone() produces a deep copy with no
+// pointers into the original (the toolchain relies on this to keep the
+// caller's model untouched).
 #pragma once
 
 #include <memory>

@@ -1,4 +1,9 @@
 // Pretty-printer: renders IR as C-like source for reports and debugging.
+//
+// The renderings are deterministic — a given tree always produces the same
+// text — so printed IR is safe to diff in golden tests and to embed in the
+// tool-chain report (core/report.h). The output is for humans: it is not
+// parsed back, and round-tripping is explicitly a non-goal.
 #pragma once
 
 #include <string>

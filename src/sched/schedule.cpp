@@ -3,14 +3,18 @@
 #include <algorithm>
 #include <map>
 
+#include "support/parallel.h"
+
 namespace argo::sched {
 
 std::vector<TaskTiming> computeTaskTimings(const htg::TaskGraph& graph,
-                                           const adl::Platform& platform) {
+                                           const adl::Platform& platform,
+                                           int parallelThreads) {
   const ir::Function& fn = *graph.fn;
-  // Cache analyzers per distinct core configuration to avoid re-pricing
-  // identical tiles. Keyed by (core name, shared access base) which fully
-  // determines the TimingModel.
+  // One TimingModel per tile, built once up front so the per-task loop
+  // only reads them. Every task is analyzed on every tile (O(tasks x
+  // tiles) schema walks — identical tiles are *not* deduplicated), which
+  // is why this loop is worth pooling.
   std::vector<wcet::TimingModel> models;
   models.reserve(static_cast<std::size_t>(platform.coreCount()));
   for (int t = 0; t < platform.coreCount(); ++t) {
@@ -18,7 +22,7 @@ std::vector<TaskTiming> computeTaskTimings(const htg::TaskGraph& graph,
   }
 
   std::vector<TaskTiming> timings(graph.tasks.size());
-  for (std::size_t i = 0; i < graph.tasks.size(); ++i) {
+  support::parallelFor(graph.tasks.size(), parallelThreads, [&](std::size_t i) {
     const htg::Task& task = graph.tasks[i];
     TaskTiming timing;
     timing.wcetByTile.resize(static_cast<std::size_t>(platform.coreCount()));
@@ -32,7 +36,7 @@ std::vector<TaskTiming> computeTaskTimings(const htg::TaskGraph& graph,
       if (t == 0) timing.sharedAccesses = result.accesses.sharedTotal();
     }
     timings[i] = std::move(timing);
-  }
+  });
   return timings;
 }
 

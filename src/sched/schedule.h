@@ -28,6 +28,10 @@ struct TaskTiming {
   std::vector<Cycles> wcetByTile;
   /// Worst-case number of shared-memory accesses (tile independent).
   std::int64_t sharedAccesses = 0;
+
+  /// Field-complete equality: the determinism tests/benches compare whole
+  /// tables, and a defaulted == keeps them covering future fields.
+  bool operator==(const TaskTiming&) const = default;
 };
 
 /// One scheduled task instance.
@@ -36,6 +40,8 @@ struct Placement {
   int tile = -1;
   Cycles start = 0;
   Cycles finish = 0;
+
+  bool operator==(const Placement&) const = default;
 };
 
 /// A complete static schedule of a TaskGraph on a Platform.
@@ -50,12 +56,21 @@ struct Schedule {
   int tilesUsed = 0;
   /// Human-readable name of the policy that produced this schedule.
   std::string policy;
+
+  /// Field-complete equality (see TaskTiming::operator==).
+  bool operator==(const Schedule&) const = default;
 };
 
 /// Computes TaskTiming for every task of `graph` on `platform` using the
-/// code-level WCET analyzer (one TimingModel per distinct tile).
+/// code-level WCET analyzer (one TimingModel per distinct tile). Tasks are
+/// independent, so with `parallelThreads != 1` they are analyzed on a
+/// work-stealing pool through the shared support::parallelFor layer;
+/// every task writes its own slot, so
+/// the table is bit-identical to the sequential run. 0 = one thread per
+/// hardware thread; pass 1 when calling from inside another pooled phase.
 [[nodiscard]] std::vector<TaskTiming> computeTaskTimings(
-    const htg::TaskGraph& graph, const adl::Platform& platform);
+    const htg::TaskGraph& graph, const adl::Platform& platform,
+    int parallelThreads = 1);
 
 /// Worst-case communication cycles for edge `dep` when producer runs on
 /// `fromTile` and consumer on `toTile` (0 when co-located).

@@ -8,6 +8,7 @@
 
 #include "support/diagnostics.h"
 #include "support/interval.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace argo::sched {
@@ -24,10 +25,11 @@ const char* policyName(Policy policy) noexcept {
   return "?";
 }
 
-Scheduler::Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform)
+Scheduler::Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform,
+                     int timingThreads)
     : graph_(graph),
       platform_(platform),
-      timings_(computeTaskTimings(graph, platform)),
+      timings_(computeTaskTimings(graph, platform, timingThreads)),
       succ_(graph.successors()),
       pred_(graph.predecessors()) {}
 
@@ -282,45 +284,79 @@ Schedule Scheduler::runAnnealed(const SchedOptions& options) const {
   Schedule seed = runHeft(options, options.interferenceAware);
   const int cores = effectiveCores(options);
   const std::size_t n = graph_.tasks.size();
-  std::vector<int> assignment(n);
-  for (std::size_t i = 0; i < n; ++i) assignment[i] = seed.placements[i].tile;
-
-  std::vector<int> best = assignment;
-  Cycles bestMakespan = seed.makespan;
-  Cycles current = seed.makespan;
-
-  support::Rng rng(options.seed);
-  double temperature =
-      options.saInitialTemp * static_cast<double>(seed.makespan);
-  const double cooling =
-      std::pow(0.01, 1.0 / std::max(1, options.saIterations));
-
-  for (int iter = 0; iter < options.saIterations; ++iter) {
-    const std::size_t task =
-        static_cast<std::size_t>(rng.uniformInt(0, static_cast<int>(n) - 1));
-    const int oldTile = assignment[task];
-    const int newTile = static_cast<int>(rng.uniformInt(0, cores - 1));
-    if (newTile == oldTile) continue;
-    assignment[task] = newTile;
-    const Schedule candidate = scheduleWithAssignment(assignment, options);
-    const double delta =
-        static_cast<double>(candidate.makespan) - static_cast<double>(current);
-    const bool accept =
-        delta <= 0.0 ||
-        rng.uniformDouble() < std::exp(-delta / std::max(1.0, temperature));
-    if (accept) {
-      current = candidate.makespan;
-      if (candidate.makespan < bestMakespan) {
-        bestMakespan = candidate.makespan;
-        best = assignment;
-      }
-    } else {
-      assignment[task] = oldTile;
-    }
-    temperature *= cooling;
+  std::vector<int> seedAssignment(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    seedAssignment[i] = seed.placements[i].tile;
   }
 
-  Schedule result = scheduleWithAssignment(best, options);
+  // One independent annealing chain. Chain state is entirely local (the
+  // Scheduler is only read), so chains run concurrently; chain r's random
+  // stream is fixed by `options.seed + r` alone, which keeps every chain's
+  // outcome reproducible regardless of thread count or interleaving.
+  struct ChainResult {
+    Cycles makespan = 0;
+    std::vector<int> assignment;
+  };
+  const auto runChain = [&](std::uint64_t chainSeed) {
+    ChainResult out;
+    out.makespan = seed.makespan;
+    out.assignment = seedAssignment;
+    std::vector<int> assignment = seedAssignment;
+    Cycles current = seed.makespan;
+
+    support::Rng rng(chainSeed);
+    double temperature =
+        options.saInitialTemp * static_cast<double>(seed.makespan);
+    const double cooling =
+        std::pow(0.01, 1.0 / std::max(1, options.saIterations));
+
+    for (int iter = 0; iter < options.saIterations; ++iter) {
+      const std::size_t task =
+          static_cast<std::size_t>(rng.uniformInt(0, static_cast<int>(n) - 1));
+      const int oldTile = assignment[task];
+      const int newTile = static_cast<int>(rng.uniformInt(0, cores - 1));
+      if (newTile == oldTile) continue;
+      assignment[task] = newTile;
+      const Schedule candidate = scheduleWithAssignment(assignment, options);
+      const double delta = static_cast<double>(candidate.makespan) -
+                           static_cast<double>(current);
+      const bool accept =
+          delta <= 0.0 ||
+          rng.uniformDouble() < std::exp(-delta / std::max(1.0, temperature));
+      if (accept) {
+        current = candidate.makespan;
+        if (candidate.makespan < out.makespan) {
+          out.makespan = candidate.makespan;
+          out.assignment = assignment;
+        }
+      } else {
+        assignment[task] = oldTile;
+      }
+      temperature *= cooling;
+    }
+    return out;
+  };
+
+  // Restarts write into per-chain slots; the reduction below walks them in
+  // ladder order (strict `<`, lowest chain wins ties), so the selected
+  // assignment is bit-identical to running the chains one after another.
+  const std::size_t restarts =
+      static_cast<std::size_t>(std::max(1, options.saRestarts));
+  std::vector<ChainResult> chains(restarts);
+  support::parallelFor(restarts, options.parallelThreads, [&](std::size_t r) {
+    chains[r] = runChain(options.seed + r);
+  });
+
+  Cycles bestMakespan = seed.makespan;
+  const std::vector<int>* best = &seedAssignment;
+  for (const ChainResult& chain : chains) {
+    if (chain.makespan < bestMakespan) {
+      bestMakespan = chain.makespan;
+      best = &chain.assignment;
+    }
+  }
+
+  Schedule result = scheduleWithAssignment(*best, options);
   // Annealing never returns something worse than its seed.
   if (result.makespan > seed.makespan) {
     seed.policy = "annealed";

@@ -10,7 +10,10 @@
 //                          schedules for small graphs (the "exact
 //                          technique"; exponential, guarded by limits).
 //  * Annealed            — HEFT seed refined by simulated annealing over
-//                          tile assignments (the "advanced heuristic").
+//                          tile assignments (the "advanced heuristic");
+//                          runs saRestarts independent chains, pooled when
+//                          parallelThreads != 1, with a deterministic
+//                          ladder-order selection of the best chain.
 //  * ContentionOblivious — average-case-style baseline: identical HEFT
 //                          machinery but blind to shared-resource
 //                          interference (models the parMERASA-style
@@ -55,12 +58,28 @@ struct SchedOptions {
   int saIterations = 4000;
   double saInitialTemp = 0.20;  ///< Fraction of seed makespan.
   std::uint64_t seed = 1;
+  /// Independent annealing chains, all starting from the HEFT seed.
+  /// Chain r draws from its own Rng seeded with `seed + r`, so the set of
+  /// chains is fixed by the options alone; the best chain is selected by a
+  /// ladder-order reduction (strict `<`, lowest chain index wins ties),
+  /// making the result identical however the chains are executed. 1 = the
+  /// classic single chain.
+  int saRestarts = 1;
+  /// Worker threads for the scheduler's own parallel phases (annealing
+  /// restarts). 0 = one per hardware thread, 1 = sequential; results are
+  /// bit-identical either way. Must be 1 when the scheduler itself runs
+  /// inside a pooled phase (core::Toolchain's feedback exploration does
+  /// this), since pools do not nest.
+  int parallelThreads = 1;
 };
 
 /// Facade over all policies.
 class Scheduler {
  public:
-  Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform);
+  /// `timingThreads` parallelizes the per-task timing analysis done at
+  /// construction (see computeTaskTimings); the default keeps it inline.
+  Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform,
+            int timingThreads = 1);
 
   [[nodiscard]] Schedule run(const SchedOptions& options) const;
 

@@ -1,0 +1,77 @@
+#include "support/parallel.h"
+
+#include <exception>
+#include <thread>
+
+#include "support/diagnostics.h"
+#include "support/thread_pool.h"
+
+namespace argo::support {
+
+namespace {
+
+// Set while the current thread executes a parallelFor task body (on a pool
+// worker or on the calling thread when it helps / runs inline).
+thread_local bool tlInParallelTask = false;
+
+struct TaskScope {
+  // Restores (not clears) the previous value: an inline parallelFor nested
+  // inside a pooled task must leave the task flag set for the rest of the
+  // enclosing task, or the no-nested-pools guard would be disabled.
+  bool previous;
+  TaskScope() noexcept : previous(tlInParallelTask) {
+    tlInParallelTask = true;
+  }
+  ~TaskScope() noexcept { tlInParallelTask = previous; }
+};
+
+}  // namespace
+
+unsigned effectiveParallelism(int threads, std::size_t n) {
+  unsigned resolved = threads > 0 ? static_cast<unsigned>(threads)
+                                  : std::thread::hardware_concurrency();
+  if (resolved == 0) resolved = 1;
+  if (n < resolved) resolved = static_cast<unsigned>(n);
+  return resolved == 0 ? 1u : resolved;
+}
+
+bool inParallelTask() noexcept { return tlInParallelTask; }
+
+void parallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const unsigned resolved = effectiveParallelism(threads, n);
+
+  if (resolved <= 1) {
+    // Inline path. Matches the pool contract exactly: every index runs,
+    // and (trivially, because indices run in order) the lowest failing
+    // index's exception is the one rethrown.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
+      TaskScope scope;
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
+    return;
+  }
+
+  if (tlInParallelTask) {
+    throw ToolchainError(
+        "support::parallelFor: nested pooled use from a parallel task; "
+        "inner phases must run with threads = 1");
+  }
+
+  // The calling thread participates in ThreadPool::parallelFor, so spawn
+  // one fewer worker than the requested parallelism.
+  ThreadPool pool(resolved - 1);
+  pool.parallelFor(n, [&fn](std::size_t i) {
+    TaskScope scope;
+    fn(i);
+  });
+}
+
+}  // namespace argo::support

@@ -1,0 +1,53 @@
+// Deterministic data parallelism for the tool-chain's hot phases.
+//
+// A thin layer over support::ThreadPool that every embarrassingly parallel
+// phase (cross-layer feedback exploration, per-task timing analysis,
+// annealing restarts, MHP rows, simulator trials) shares instead of
+// hand-rolling its own pool handling. The contract, identical for the
+// sequential and the pooled path:
+//
+//  * parallelFor(n, threads, fn) runs fn(i) for every i in [0, n). Every
+//    index executes even if another index throws; when several indices
+//    throw, the exception of the *lowest* failing index propagates. This
+//    makes failure behaviour independent of the thread count and of the
+//    execution interleaving.
+//  * The layer never imposes an ordering on side effects. Callers that
+//    need bit-identical results against a sequential run write into
+//    per-index slots and reduce strictly in index order afterwards
+//    ("ladder-order reduction"; see docs/ARCHITECTURE.md, "Determinism
+//    contract").
+//  * Pools do not nest: requesting a pooled run (resolved parallelism > 1)
+//    from inside a parallelFor task throws ToolchainError. Inner phases
+//    invoked from a pooled outer phase must pass threads = 1, which runs
+//    inline and is always allowed (core::Toolchain does exactly this for
+//    the scheduler it runs per candidate).
+//  * Each pooled call owns a transient ThreadPool (spawned on entry,
+//    joined before return); the layer is shared, the pool is not. One
+//    phase therefore owns the whole thread budget at a time, and nothing
+//    outlives the call.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace argo::support {
+
+/// Worker count a phase should use for `n` independent items given its
+/// thread knob: `threads <= 0` means one per hardware thread, otherwise
+/// `threads`; never more than `n` and never less than 1.
+[[nodiscard]] unsigned effectiveParallelism(int threads, std::size_t n);
+
+/// True while the calling thread is executing a parallelFor task (used to
+/// reject nested pools; exposed for tests).
+[[nodiscard]] bool inParallelTask() noexcept;
+
+/// Runs `fn(i)` for every i in [0, n), blocking until all complete.
+/// `threads` follows the effectiveParallelism() convention; a resolved
+/// parallelism of 1 runs inline on the calling thread with the same
+/// all-indices-execute / lowest-failing-index-wins failure contract as the
+/// pooled path. Throws support::ToolchainError when a pooled run is
+/// requested from inside another parallelFor task.
+void parallelFor(std::size_t n, int threads,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace argo::support

@@ -1,4 +1,11 @@
 // Small string helpers shared across the tool-chain (lexers, printers).
+//
+// Pure functions over string_view/string only — no locale, no allocation
+// surprises, no dependency on anything else in support/. The ADL parser
+// and Scilab front end tokenize with split/trim/startsWith; report and
+// bench code formats with join/formatCycles. All helpers are deterministic
+// (ASCII-only semantics), which keeps every printed report byte-stable
+// across platforms — the determinism tests compare reports verbatim.
 #pragma once
 
 #include <string>

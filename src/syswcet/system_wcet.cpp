@@ -5,6 +5,7 @@
 
 #include "support/diagnostics.h"
 #include "support/interval.h"
+#include "support/parallel.h"
 
 namespace argo::syswcet {
 
@@ -49,12 +50,14 @@ HbGraph buildHb(const par::ParallelProgram& program) {
 }  // namespace
 
 std::vector<std::vector<bool>> mayHappenInParallel(
-    const par::ParallelProgram& program) {
+    const par::ParallelProgram& program, int parallelThreads) {
   const std::size_t n = program.graph->tasks.size();
   const HbGraph hb = buildHb(program);
-  // reachable[i][j]: i happens-before j.
+  // reachable[i][j]: i happens-before j. Each source's traversal touches
+  // only its own row, so the rows are pool-parallel with no reduction
+  // needed (the matrix is the result, indexed by source).
   std::vector<std::vector<bool>> reach(n, std::vector<bool>(n, false));
-  for (std::size_t i = 0; i < n; ++i) {
+  support::parallelFor(n, parallelThreads, [&](std::size_t i) {
     std::queue<int> frontier;
     frontier.push(static_cast<int>(i));
     while (!frontier.empty()) {
@@ -67,7 +70,7 @@ std::vector<std::vector<bool>> mayHappenInParallel(
         }
       }
     }
-  }
+  });
   std::vector<std::vector<bool>> mhp(n, std::vector<bool>(n, false));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j < n; ++j) {
@@ -80,7 +83,7 @@ std::vector<std::vector<bool>> mayHappenInParallel(
 SystemWcet analyzeSystem(const par::ParallelProgram& program,
                          const adl::Platform& platform,
                          const std::vector<sched::TaskTiming>& timings,
-                         InterferenceMethod method) {
+                         InterferenceMethod method, int parallelThreads) {
   const std::size_t n = program.graph->tasks.size();
   if (timings.size() != n) {
     throw ToolchainError("system WCET: timing table size mismatch");
@@ -153,7 +156,8 @@ SystemWcet analyzeSystem(const par::ParallelProgram& program,
   // distinct other tile hosting an MHP task that itself uses the
   // interconnect.
   if (method == InterferenceMethod::MhpRefined) {
-    const std::vector<std::vector<bool>> mhp = mayHappenInParallel(program);
+    const std::vector<std::vector<bool>> mhp =
+        mayHappenInParallel(program, parallelThreads);
     for (std::size_t i = 0; i < n; ++i) {
       if (timings[i].sharedAccesses == 0 && syncOps[i] == 0) continue;
       std::vector<bool> tileSeen(

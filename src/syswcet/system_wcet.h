@@ -44,6 +44,8 @@ struct TaskBound {
   Cycles inflated = 0;   ///< Duration including interference and sync.
   Cycles interference = 0;  ///< Interference share of `inflated`.
   int contenders = 1;    ///< Contender count the access costs assumed.
+
+  bool operator==(const TaskBound&) const = default;
 };
 
 /// Whole-system result.
@@ -51,18 +53,31 @@ struct SystemWcet {
   Cycles makespan = 0;
   std::vector<TaskBound> tasks;  ///< Indexed like TaskGraph::tasks.
   int fixpointIterations = 0;
+
+  /// Field-complete equality: the determinism tests/benches compare whole
+  /// results, and a defaulted == keeps them covering future fields.
+  bool operator==(const SystemWcet&) const = default;
 };
 
 /// Computes the system-level WCET bound of an explicit parallel program.
 /// `timings` are the code-level results from sched::computeTaskTimings.
+/// `parallelThreads` parallelizes the MHP reachability rows on the shared
+/// pool (support::parallelFor); the bound is bit-identical for any thread
+/// count. 0 = one per hardware thread; keep the default 1 when calling
+/// from inside another pooled phase (pools do not nest).
 [[nodiscard]] SystemWcet analyzeSystem(
     const par::ParallelProgram& program, const adl::Platform& platform,
     const std::vector<sched::TaskTiming>& timings,
-    InterferenceMethod method = InterferenceMethod::MhpRefined);
+    InterferenceMethod method = InterferenceMethod::MhpRefined,
+    int parallelThreads = 1);
 
 /// MHP matrix: result[i][j] is true when tasks i and j are unordered by
-/// happens-before (and i != j). Symmetric.
+/// happens-before (and i != j). Symmetric. Each task's reachable set is an
+/// independent traversal, so rows are computed on a work-stealing pool
+/// through the shared support::parallelFor layer when
+/// `parallelThreads != 1` (same convention as analyzeSystem); the matrix
+/// is identical for any thread count.
 [[nodiscard]] std::vector<std::vector<bool>> mayHappenInParallel(
-    const par::ParallelProgram& program);
+    const par::ParallelProgram& program, int parallelThreads = 1);
 
 }  // namespace argo::syswcet

@@ -1,0 +1,155 @@
+// support::parallelFor: the shared deterministic-parallelism layer. Covers
+// the knob resolution, empty/single ranges, the failure contract (every
+// index runs; the lowest failing index's exception propagates, on both the
+// inline and the pooled path) and the no-nested-pools rule.
+#include "support/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/diagnostics.h"
+
+namespace argo::support {
+namespace {
+
+TEST(EffectiveParallelism, ResolvesKnobAndClampsToRange) {
+  EXPECT_EQ(effectiveParallelism(4, 100), 4u);
+  EXPECT_EQ(effectiveParallelism(4, 2), 2u);   // never more than n
+  EXPECT_EQ(effectiveParallelism(1, 100), 1u);
+  EXPECT_GE(effectiveParallelism(0, 100), 1u);  // 0 = hardware threads
+  EXPECT_EQ(effectiveParallelism(-3, 1), 1u);
+  EXPECT_EQ(effectiveParallelism(8, 0), 1u);   // empty range still >= 1
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOpOnBothPaths) {
+  for (int threads : {1, 4}) {
+    parallelFor(0, threads,
+                [](std::size_t) { FAIL() << "must not be called"; });
+  }
+}
+
+TEST(ParallelFor, SingleElementRunsExactlyOnce) {
+  for (int threads : {1, 8}) {
+    int calls = 0;
+    std::size_t seen = 99;
+    parallelFor(1, threads, [&](std::size_t i) {
+      ++calls;
+      seen = i;
+    });
+    EXPECT_EQ(calls, 1) << "threads " << threads;
+    EXPECT_EQ(seen, 0u);
+  }
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 500;
+  for (int threads : {1, 4}) {
+    std::vector<std::atomic<int>> hits(kN);
+    parallelFor(kN, threads, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "threads " << threads << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelFor, LowestFailingIndexWinsOnBothPaths) {
+  for (int threads : {1, 4}) {
+    for (int run = 0; run < 5; ++run) {
+      try {
+        parallelFor(64, threads, [](std::size_t i) {
+          if (i % 7 == 5) {  // lowest failing index is 5
+            throw ToolchainError("boom at " + std::to_string(i));
+          }
+        });
+        FAIL() << "expected ToolchainError";
+      } catch (const ToolchainError& e) {
+        EXPECT_STREQ(e.what(), "boom at 5") << "threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, FailureStillRunsEveryIndexOnBothPaths) {
+  for (int threads : {1, 4}) {
+    std::atomic<int> executed{0};
+    EXPECT_THROW(parallelFor(100, threads,
+                             [&](std::size_t i) {
+                               executed.fetch_add(1);
+                               if (i == 0) throw std::runtime_error("x");
+                             }),
+                 std::runtime_error);
+    EXPECT_EQ(executed.load(), 100) << "threads " << threads;
+  }
+}
+
+TEST(ParallelFor, NestedPooledUseIsRejected) {
+  // A pooled inner loop inside any parallelFor task must throw — on a pool
+  // worker and on the helping caller thread alike. Every index fails the
+  // same way, and the lowest index's ToolchainError surfaces.
+  for (int outerThreads : {1, 4}) {
+    EXPECT_THROW(
+        parallelFor(8, outerThreads,
+                    [](std::size_t) {
+                      parallelFor(4, 2, [](std::size_t) {});
+                    }),
+        ToolchainError)
+        << "outer threads " << outerThreads;
+  }
+}
+
+TEST(ParallelFor, NestedInlineUseIsAllowed) {
+  // threads = 1 inner loops are plain loops; pooled outer phases rely on
+  // this to run their per-candidate sub-phases sequentially.
+  std::atomic<int> total{0};
+  parallelFor(8, 4, [&](std::size_t) {
+    parallelFor(16, 1, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ParallelFor, GuardSurvivesANestedInlineLoop) {
+  // Regression: the inner inline loop's task scopes must restore — not
+  // clear — the task flag, so a pooled request later in the same outer
+  // task body is still rejected and inParallelTask() stays true.
+  std::atomic<int> guardFired{0};
+  std::atomic<bool> flagHeld{true};
+  for (int outerThreads : {1, 4}) {
+    try {
+      parallelFor(4, outerThreads, [&](std::size_t) {
+        parallelFor(2, 1, [](std::size_t) {});
+        if (!inParallelTask()) flagHeld = false;
+        parallelFor(2, 2, [](std::size_t) {});  // must throw
+      });
+    } catch (const ToolchainError&) {
+      guardFired.fetch_add(1);
+    }
+  }
+  EXPECT_EQ(guardFired.load(), 2);
+  EXPECT_TRUE(flagHeld.load());
+}
+
+TEST(ParallelFor, InParallelTaskFlagScopesToTaskBodies) {
+  EXPECT_FALSE(inParallelTask());
+  std::atomic<bool> sawFlag{true};
+  parallelFor(32, 4, [&](std::size_t) {
+    if (!inParallelTask()) sawFlag = false;
+  });
+  EXPECT_TRUE(sawFlag.load());
+  EXPECT_FALSE(inParallelTask());
+}
+
+TEST(ParallelFor, PooledUseFromAPlainThreadIsAllowedAfterATask) {
+  // The rejection flag must clear once a task body returns, so back-to-back
+  // phases on the same thread keep working.
+  parallelFor(4, 2, [](std::size_t) {});
+  std::atomic<int> count{0};
+  parallelFor(4, 2, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 4);
+}
+
+}  // namespace
+}  // namespace argo::support

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Checks that relative links in the repo's markdown docs resolve to real
+# files. External (http/https/mailto) links and pure #anchor links are
+# skipped; an optional #fragment on a relative link is stripped before the
+# check.
+#
+# Usage: tools/check_links.sh [file.md ...]
+#   With no arguments, checks the repo's top-level *.md plus docs/*.md.
+# Exit status: 0 when every relative link resolves, 1 otherwise.
+set -u
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+  for f in "$repo_root"/*.md "$repo_root"/docs/*.md; do
+    [ -e "$f" ] && files+=("$f")
+  done
+fi
+
+status=0
+checked=0
+for file in "${files[@]}"; do
+  if [ ! -f "$file" ]; then
+    echo "check_links: no such file: $file" >&2
+    status=1
+    continue
+  fi
+  dir="$(cd "$(dirname "$file")" && pwd)"
+  # Markdown inline links: [text](target), one target per match.
+  while IFS= read -r target; do
+    case "$target" in
+      http://* | https://* | mailto:* | '#'*) continue ;;
+    esac
+    path="${target%%#*}"  # drop #fragment
+    path="${path%% *}"    # drop an optional "title" after the path
+    [ -z "$path" ] && continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "check_links: broken link in ${file#"$repo_root"/}: $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed -e 's/^](//' -e 's/)$//')
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_links: ${checked} relative links OK across ${#files[@]} files"
+fi
+exit "$status"
