@@ -60,14 +60,13 @@ int main() {
   const auto out = diamond.add<model::OutputBlock>("y");
   diamond.connect(peak, out);
 
-  for (const sched::Policy policy :
-       {sched::Policy::Heft, sched::Policy::BranchAndBound,
-        sched::Policy::Annealed, sched::Policy::ContentionOblivious}) {
+  for (const std::string policy :
+       {"heft", "branch_and_bound", "annealed", "contention_oblivious"}) {
     core::ToolchainOptions options;
     options.chunkCandidates = {1};  // 8 nodes: exact search feasible
     options.sched.policy = policy;
     options.sched.interferenceAware =
-        policy != sched::Policy::ContentionOblivious;
+        policy != "contention_oblivious";
     const core::Toolchain toolchain(platform, options);
     const auto begin = std::chrono::steady_clock::now();
     const core::ToolchainResult result = toolchain.run(diamond);

@@ -33,7 +33,7 @@ int main() {
       core::ToolchainOptions options;
       options.chunkCandidates = {chunks};
       options.sched.policy =
-          aware ? sched::Policy::Heft : sched::Policy::ContentionOblivious;
+          aware ? "heft" : "contention_oblivious";
       options.sched.interferenceAware = aware;
       const core::Toolchain toolchain(platform, options);
       const core::ToolchainResult result = toolchain.run(app.diagram);

@@ -3,6 +3,7 @@
 // wall-clock for both paths, the speedup, and verifies the selected
 // schedule is bit-identical — the ladder-order reduction over the chain
 // slots makes the outcome independent of how chains interleave.
+// `--json` emits the same rows as one machine-readable JSON document.
 #include <chrono>
 #include <thread>
 
@@ -17,29 +18,29 @@ using Clock = std::chrono::steady_clock;
 
 }  // namespace
 
-int main() {
-  argo::bench::printHeader(
-      "bench_parallel_anneal: pooled simulated-annealing restarts",
-      "independent chains from the HEFT seed run concurrently, "
-      "bit-identical best schedule");
+int main(int argc, char** argv) {
+  const bool json = argo::bench::jsonRequested(argc, argv);
+  argo::bench::ParallelBenchReport report("bench_parallel_anneal", "tasks",
+                                          json);
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const argo::adl::Platform platform = argo::adl::makeRecoreXentiumBus(8);
 
   argo::sched::SchedOptions options;
-  options.policy = argo::sched::Policy::Annealed;
+  options.policy = "annealed";
   options.saIterations = 600;
   options.saRestarts = 8;
 
-  std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
-  std::printf("restarts: %d, iterations/chain: %d\n", options.saRestarts,
-              options.saIterations);
-  std::printf("%-8s %6s %12s %12s %9s  %s\n", "app", "tasks", "seq(ms)",
-              "pooled(ms)", "speedup", "identical?");
+  if (!json) {
+    argo::bench::printHeader(
+        "bench_parallel_anneal: pooled simulated-annealing restarts",
+        "independent chains from the HEFT seed run concurrently, "
+        "bit-identical best schedule");
+    std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
+    std::printf("restarts: %d, iterations/chain: %d\n", options.saRestarts,
+                options.saIterations);
+  }
 
-  double totalSeq = 0.0;
-  double totalPooled = 0.0;
-  bool allIdentical = true;
   for (AppCase& app : argo::bench::allApps()) {
     const argo::model::CompiledModel model = app.diagram.compile();
     const argo::htg::TaskGraph graph = argo::htg::expand(
@@ -61,19 +62,8 @@ int main() {
             .count();
 
     // Field-complete comparison via Schedule::operator==.
-    const bool identical = sequential == pooled;
-    allIdentical = allIdentical && identical;
-    totalSeq += seqMs;
-    totalPooled += pooledMs;
-    std::printf("%-8s %6zu %12.2f %12.2f %8.2fx  %s\n", app.name.c_str(),
-                graph.tasks.size(), seqMs, pooledMs,
-                pooledMs > 0.0 ? seqMs / pooledMs : 0.0,
-                identical ? "yes" : "NO (BUG)");
+    report.addRow({app.name, "", graph.tasks.size(), seqMs, pooledMs,
+                   sequential == pooled});
   }
-
-  std::printf("%-8s %6s %12.2f %12.2f %8.2fx  %s\n", "total", "-", totalSeq,
-              totalPooled, totalPooled > 0.0 ? totalSeq / totalPooled : 0.0,
-              allIdentical ? "yes" : "NO (BUG)");
-  if (!allIdentical) return 1;
-  return 0;
+  return report.finish();
 }

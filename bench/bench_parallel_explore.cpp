@@ -2,6 +2,7 @@
 // exploration (the schedule_and_system_wcet stage of core::Toolchain).
 // Prints per-app wall-clock for both paths, the speedup, and verifies the
 // chosen candidate and deterministic report are bit-identical.
+// `--json` emits the same rows as one machine-readable JSON document.
 #include <algorithm>
 #include <thread>
 
@@ -20,23 +21,23 @@ double explorationMs(const argo::core::ToolchainResult& result) {
 
 }  // namespace
 
-int main() {
-  argo::bench::printHeader(
-      "bench_parallel_explore: pooled feedback exploration",
-      "candidate ladder evaluated concurrently, bit-identical results");
+int main(int argc, char** argv) {
+  const bool json = argo::bench::jsonRequested(argc, argv);
+  argo::bench::ParallelBenchReport report("bench_parallel_explore", "points",
+                                          json);
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const argo::adl::Platform platform = argo::adl::makeRecoreXentiumBus(8);
   // A wide ladder so there is enough independent work to distribute.
   const std::vector<int> ladder = {1, 2, 3, 4, 6, 8, 12, 16};
 
-  std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
-  std::printf("%-8s %8s %12s %12s %9s  %s\n", "app", "points", "seq(ms)",
-              "pooled(ms)", "speedup", "identical?");
+  if (!json) {
+    argo::bench::printHeader(
+        "bench_parallel_explore: pooled feedback exploration",
+        "candidate ladder evaluated concurrently, bit-identical results");
+    std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
+  }
 
-  double totalSeq = 0.0;
-  double totalPooled = 0.0;
-  bool allIdentical = true;
   for (AppCase& app : argo::bench::allApps()) {
     const argo::model::CompiledModel model = app.diagram.compile();
 
@@ -53,24 +54,11 @@ int main() {
     const argo::core::ToolchainResult pooled =
         argo::core::Toolchain(platform, poolOptions).run(model);
 
-    const double seqMs = explorationMs(seq);
-    const double pooledMs = explorationMs(pooled);
     const bool identical =
         seq.chosenChunks == pooled.chosenChunks &&
         seq.reportText(false) == pooled.reportText(false);
-    allIdentical = allIdentical && identical;
-    totalSeq += seqMs;
-    totalPooled += pooledMs;
-
-    std::printf("%-8s %8zu %12.2f %12.2f %8.2fx  %s\n", app.name.c_str(),
-                seq.feedback.size(), seqMs, pooledMs,
-                pooledMs > 0.0 ? seqMs / pooledMs : 0.0,
-                identical ? "yes" : "NO (BUG)");
+    report.addRow({app.name, "", seq.feedback.size(), explorationMs(seq),
+                   explorationMs(pooled), identical});
   }
-
-  std::printf("%-8s %8s %12.2f %12.2f %8.2fx  %s\n", "total", "-", totalSeq,
-              totalPooled, totalPooled > 0.0 ? totalSeq / totalPooled : 0.0,
-              allIdentical ? "yes" : "NO (BUG)");
-  if (!allIdentical) return 1;
-  return 0;
+  return report.finish();
 }

@@ -2,6 +2,7 @@
 // (sched::computeTaskTimings) and MHP-based system analysis
 // (syswcet::analyzeSystem). Prints per-app wall-clock for both paths, the
 // speedup, and verifies the pooled tables and bounds are bit-identical.
+// `--json` emits the same rows as one machine-readable JSON document.
 #include <chrono>
 #include <thread>
 
@@ -25,22 +26,24 @@ double msSince(Clock::time_point begin) {
 
 }  // namespace
 
-int main() {
-  argo::bench::printHeader(
-      "bench_parallel_wcet: pooled per-task timing + system analysis",
-      "per-task WCET tables and MHP rows computed concurrently, "
-      "bit-identical results");
+int main(int argc, char** argv) {
+  const bool json = argo::bench::jsonRequested(argc, argv);
+  argo::bench::ParallelBenchReport report("bench_parallel_wcet", "tasks",
+                                          json);
 
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const argo::adl::Platform platform = argo::adl::makeRecoreXentiumBus(8);
   // A fine granularity so there are many independent tasks to distribute.
   const int chunks = 16;
 
-  std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
-  std::printf("%-8s %6s  %-7s %10s %10s %8s  %s\n", "app", "tasks", "phase",
-              "seq(ms)", "pooled(ms)", "speedup", "identical?");
+  if (!json) {
+    argo::bench::printHeader(
+        "bench_parallel_wcet: pooled per-task timing + system analysis",
+        "per-task WCET tables and MHP rows computed concurrently, "
+        "bit-identical results");
+    std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
+  }
 
-  bool allIdentical = true;
   for (AppCase& app : argo::bench::allApps()) {
     const argo::model::CompiledModel model = app.diagram.compile();
     const argo::htg::TaskGraph graph = argo::htg::expand(
@@ -61,12 +64,8 @@ int main() {
     }
     const double pooledTimingMs = msSince(begin);
 
-    const bool timingsIdentical = seqTimings == pooledTimings;
-    allIdentical = allIdentical && timingsIdentical;
-    std::printf("%-8s %6zu  %-7s %10.2f %10.2f %7.2fx  %s\n", app.name.c_str(),
-                graph.tasks.size(), "timings", seqTimingMs, pooledTimingMs,
-                pooledTimingMs > 0.0 ? seqTimingMs / pooledTimingMs : 0.0,
-                timingsIdentical ? "yes" : "NO (BUG)");
+    report.addRow({app.name, "timings", graph.tasks.size(), seqTimingMs,
+                   pooledTimingMs, seqTimings == pooledTimings});
 
     // --- System-level analysis on the scheduled program. ---
     const argo::sched::Scheduler scheduler(graph, platform);
@@ -93,14 +92,8 @@ int main() {
     }
     const double pooledSystemMs = msSince(begin);
 
-    const bool systemIdentical = seqSystem == pooledSystem;
-    allIdentical = allIdentical && systemIdentical;
-    std::printf("%-8s %6zu  %-7s %10.2f %10.2f %7.2fx  %s\n", app.name.c_str(),
-                graph.tasks.size(), "system", seqSystemMs, pooledSystemMs,
-                pooledSystemMs > 0.0 ? seqSystemMs / pooledSystemMs : 0.0,
-                systemIdentical ? "yes" : "NO (BUG)");
+    report.addRow({app.name, "system", graph.tasks.size(), seqSystemMs,
+                   pooledSystemMs, seqSystem == pooledSystem});
   }
-
-  if (!allIdentical) return 1;
-  return 0;
+  return report.finish();
 }

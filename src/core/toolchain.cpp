@@ -109,7 +109,6 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   for (int chunks : candidates) plans.push_back(Candidate{chunks, 0});
 
   struct PlanEval {
-    bool feasible = false;
     std::unique_ptr<htg::TaskGraph> graph;
     std::vector<sched::TaskTiming> timings;
     sched::Schedule schedule;
@@ -128,18 +127,17 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
     expand.chunksPerLoop = plan.chunks;
     expand.mergeScalarChains = options_.mergeScalarChains;
     eval.graph = std::make_unique<htg::TaskGraph>(htg::expand(htg, expand));
-    if (eval.graph->tasks.size() > 31 &&
-        options_.sched.policy == sched::Policy::BranchAndBound) {
-      return eval;  // exact search cannot represent this candidate
-    }
+    // Candidates an exact policy cannot represent are not rejected here:
+    // the branch-and-bound policy itself falls back to HEFT beyond its
+    // task cap (sched/bnb.h), so every candidate stays comparable.
     sched::SchedOptions schedOptions = options_.sched;
     if (plan.coreLimit > 0) schedOptions.coreLimit = plan.coreLimit;
     // A pooled exploration owns the thread budget, so the per-candidate
-    // scheduler phases must stay inline; a sequential exploration lets the
-    // scheduler pool its own phases (results are identical either way).
+    // scheduler phases (timing analysis, annealing restarts, BnB subtrees)
+    // must stay inline; a sequential exploration lets the scheduler pool
+    // its own phases (results are identical either way).
     if (threads > 1) schedOptions.parallelThreads = 1;
-    sched::Scheduler scheduler(*eval.graph, platform_,
-                               schedOptions.parallelThreads);
+    sched::Scheduler scheduler(*eval.graph, platform_, schedOptions);
     eval.schedule = scheduler.run(schedOptions);
     par::ParallelProgram program =
         par::buildParallelProgram(*eval.graph, eval.schedule, platform_);
@@ -148,7 +146,6 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
                                          options_.interference,
                                          schedOptions.parallelThreads);
     eval.timings = scheduler.timings();
-    eval.feasible = true;
     return eval;
   };
 
@@ -156,7 +153,6 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   // Ladder-order reduction step: identical for both paths, so the choice
   // (strict `<`, first minimum wins) matches the sequential semantics.
   const auto consume = [&](std::size_t i, PlanEval eval) {
-    if (!eval.feasible) return;
     result.feedback.push_back(FeedbackPoint{
         plans[i].chunks, plans[i].coreLimit, eval.system.makespan,
         static_cast<int>(eval.graph->tasks.size())});

@@ -1,0 +1,124 @@
+// The "annealed" policy: HEFT seed refined by simulated annealing over
+// tile assignments (the paper's "advanced heuristic"). Runs
+// SchedOptions::saRestarts independent chains, pooled through the shared
+// support::parallelFor layer when parallelThreads != 1, with a
+// deterministic ladder-order selection of the best chain.
+#include <cmath>
+
+#include "sched/list_placement.h"
+#include "sched/policy.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+
+namespace argo::sched {
+
+namespace {
+
+class AnnealedPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "annealed";
+  }
+
+  [[nodiscard]] Schedule run(const SchedContext& ctx,
+                             const SchedOptions& options) const override {
+    Schedule seed = detail::listSchedule(ctx, options.interferenceAware,
+                                         std::string(name()));
+    const std::size_t n = ctx.graph.tasks.size();
+    std::vector<int> seedAssignment(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      seedAssignment[i] = seed.placements[i].tile;
+    }
+
+    // One independent annealing chain. Chain state is entirely local (the
+    // context is only read), so chains run concurrently; chain r's random
+    // stream is fixed by `options.seed + r` alone, which keeps every
+    // chain's outcome reproducible regardless of thread count or
+    // interleaving.
+    struct ChainResult {
+      Cycles makespan = 0;
+      std::vector<int> assignment;
+    };
+    const auto runChain = [&](std::uint64_t chainSeed) {
+      ChainResult out;
+      out.makespan = seed.makespan;
+      out.assignment = seedAssignment;
+      std::vector<int> assignment = seedAssignment;
+      Cycles current = seed.makespan;
+
+      support::Rng rng(chainSeed);
+      double temperature =
+          options.saInitialTemp * static_cast<double>(seed.makespan);
+      const double cooling =
+          std::pow(0.01, 1.0 / std::max(1, options.saIterations));
+
+      for (int iter = 0; iter < options.saIterations; ++iter) {
+        const std::size_t task = static_cast<std::size_t>(
+            rng.uniformInt(0, static_cast<int>(n) - 1));
+        const int oldTile = assignment[task];
+        const int newTile =
+            static_cast<int>(rng.uniformInt(0, ctx.cores - 1));
+        if (newTile == oldTile) continue;
+        assignment[task] = newTile;
+        const Schedule candidate = detail::scheduleWithAssignment(
+            ctx, assignment, options.interferenceAware, std::string(name()));
+        const double delta = static_cast<double>(candidate.makespan) -
+                             static_cast<double>(current);
+        const bool accept =
+            delta <= 0.0 ||
+            rng.uniformDouble() <
+                std::exp(-delta / std::max(1.0, temperature));
+        if (accept) {
+          current = candidate.makespan;
+          if (candidate.makespan < out.makespan) {
+            out.makespan = candidate.makespan;
+            out.assignment = assignment;
+          }
+        } else {
+          assignment[task] = oldTile;
+        }
+        temperature *= cooling;
+      }
+      return out;
+    };
+
+    // Restarts write into per-chain slots; the reduction below walks them
+    // in ladder order (strict `<`, lowest chain wins ties), so the
+    // selected assignment is bit-identical to running the chains one after
+    // another.
+    const std::size_t restarts =
+        static_cast<std::size_t>(std::max(1, options.saRestarts));
+    std::vector<ChainResult> chains(restarts);
+    support::parallelFor(restarts, options.parallelThreads,
+                         [&](std::size_t r) {
+                           chains[r] = runChain(options.seed + r);
+                         });
+
+    Cycles bestMakespan = seed.makespan;
+    const std::vector<int>* best = &seedAssignment;
+    for (const ChainResult& chain : chains) {
+      if (chain.makespan < bestMakespan) {
+        bestMakespan = chain.makespan;
+        best = &chain.assignment;
+      }
+    }
+
+    Schedule result = detail::scheduleWithAssignment(
+        ctx, *best, options.interferenceAware, std::string(name()));
+    // Annealing never returns something worse than its seed.
+    if (result.makespan > seed.makespan) return seed;
+    return result;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<SchedulingPolicy> makeAnnealedPolicy() {
+  return std::make_unique<AnnealedPolicy>();
+}
+
+}  // namespace detail
+
+}  // namespace argo::sched

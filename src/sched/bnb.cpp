@@ -1,0 +1,420 @@
+#include "sched/bnb.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <utility>
+
+#include "sched/list_placement.h"
+#include "sched/policy.h"
+#include "support/parallel.h"
+#include "support/shared_incumbent.h"
+
+namespace argo::sched {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Why the pooled search is bit-identical to the classic sequential DFS
+// ---------------------------------------------------------------------------
+//
+// The classic search is a single depth-first stack: children are generated
+// in (task ascending, tile ascending) order and pushed, so subtrees are
+// explored newest-first; a node is pruned when its admissible lower bound
+// `lb` reaches the best complete makespan seen so far (strict improvements
+// only), which starts at the HEFT seed. Its result is the *first complete
+// schedule, in that traversal order, attaining the search-space optimum*
+// (or the seed incumbent when nothing beats it).
+//
+// The split search partitions the same tree at a frontier depth d: every
+// surviving node with d placed tasks becomes the root of an independent
+// subtree search. Three choices make the combined result identical to the
+// classic traversal, for every depth and thread count:
+//
+//  1. *Ladder order equals classic visit order.* The frontier is generated
+//     level by level, children appended in (task, tile) ascending order,
+//     which lists the depth-d nodes in ascending lexicographic order of
+//     their construction paths; the classic stack visits them in exactly
+//     the reverse order (descending, newest-first). Reversing the list and
+//     reducing the per-subtree results in ladder order (strict `<`, first
+//     optimum wins) therefore selects the same subtree whose first-in-DFS
+//     attainer the classic search would have kept. Frontier generation
+//     prunes only against the fixed seed bound; nodes the classic search
+//     would additionally prune with its evolving bound have subtree minima
+//     no smaller than some earlier-in-ladder subtree's result, so the
+//     ladder never selects them either.
+//
+//  2. *Subtree results depend only on local, deterministic state.* Each
+//     subtree records a schedule only when it strictly improves on its own
+//     `localBest`, which starts at the seed makespan. An induction over
+//     the DFS shows the subtree's final record is the first (in DFS order)
+//     complete schedule attaining the subtree minimum m_i, *independent of
+//     the initial bound* as long as that bound exceeds m_i: on the path to
+//     that first attainer every lower bound is <= m_i < localBest (no
+//     earlier attainer exists to lower localBest to m_i), so no
+//     deterministic prune can cut it.
+//
+//  3. *The shared incumbent prunes strictly.* Subtrees additionally skip a
+//     node when `lb > shared.get()`. Every value the SharedIncumbent ever
+//     holds is the makespan of some complete schedule, hence >= the global
+//     optimum; the bound is monotone non-increasing, and which value a
+//     reader sees is the only racy quantity. A node skipped this way has
+//     every completion >= lb > shared >= optimum — strictly worse than the
+//     optimum, so it can contain neither the optimum nor anything tying
+//     it. In particular the path to the first attainer of any subtree with
+//     m_i == optimum has lb <= optimum <= shared and is never skipped:
+//     every such subtree still reports its deterministic record, and the
+//     ladder picks the same one regardless of interleaving. (A non-strict
+//     `lb >= shared` would skip *tying* completions and make the recorded
+//     placements depend on the race — this strictness is load-bearing.)
+//
+// Budget is the one caveat: per-subtree budgets are fixed up front (they
+// sum to bnbNodeBudget minus the frontier nodes, see bnbSplitNodeBudget),
+// so total work is bounded identically, but *which* nodes fit inside an
+// exhausted budget depends on how much the racy bound pruned. A search
+// that exhausts any budget reports policy "branch_and_bound(budget)" and
+// guarantees validity and seed-quality, not cross-thread-count
+// bit-identity. The determinism suite (tests/bnb_test.cpp) pins both
+// behaviours.
+// ---------------------------------------------------------------------------
+
+/// Immutable per-search facts shared by frontier generation and every
+/// subtree.
+struct SearchContext {
+  const SchedContext& ctx;
+  detail::EdgeIndex edges;
+  std::vector<Cycles> cp;    ///< remaining critical path per task
+  std::vector<Cycles> minW;  ///< min WCET over tiles per task
+  std::size_t n = 0;
+  std::uint32_t allDone = 0;
+};
+
+/// One node of the search tree: a partial append-only schedule.
+struct Frame {
+  std::vector<Placement> placements;
+  std::vector<Cycles> tileAvail;
+  std::uint32_t done = 0;  ///< bitmask of scheduled tasks
+  Cycles makespan = 0;
+  Cycles workLeft = 0;
+};
+
+/// Remaining critical path per task (min-WCET weights, no communication):
+/// an admissible lower bound for pruning.
+std::vector<Cycles> remainingCriticalPath(const SchedContext& ctx) {
+  const std::size_t n = ctx.graph.tasks.size();
+  std::vector<Cycles> minW(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    minW[i] = *std::min_element(ctx.timings[i].wcetByTile.begin(),
+                                ctx.timings[i].wcetByTile.end());
+  }
+  std::vector<Cycles> cp(n, -1);
+  // Reverse topological accumulation (iterate until stable; graphs are
+  // small when BnB is enabled).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      Cycles tail = 0;
+      bool ready = true;
+      for (int s : ctx.succ[i]) {
+        if (cp[static_cast<std::size_t>(s)] < 0) {
+          ready = false;
+          break;
+        }
+        tail = std::max(tail, cp[static_cast<std::size_t>(s)]);
+      }
+      if (!ready) continue;
+      const Cycles value = minW[i] + tail;
+      if (value != cp[i]) {
+        cp[i] = value;
+        changed = true;
+      }
+    }
+  }
+  return cp;
+}
+
+/// Admissible lower bound on any completion of `frame`: critical path of
+/// any unscheduled task, and total remaining work spread over all cores.
+Cycles lowerBound(const SearchContext& sc, const Frame& frame) {
+  Cycles lb = frame.makespan;
+  for (std::size_t i = 0; i < sc.n; ++i) {
+    if ((frame.done & (1u << i)) == 0) lb = std::max(lb, sc.cp[i]);
+  }
+  const Cycles minAvail =
+      *std::min_element(frame.tileAvail.begin(), frame.tileAvail.end());
+  lb = std::max(lb, minAvail + frame.workLeft / sc.ctx.cores);
+  return lb;
+}
+
+/// Generates the children of `frame` in (task ascending, tile ascending)
+/// order — the one order every part of the search shares — and hands each
+/// child whose makespan stays strictly below `pushBound` to `push`.
+template <typename Push>
+void expandChildren(const SearchContext& sc, const Frame& frame,
+                    Cycles pushBound, Push&& push) {
+  for (std::size_t task = 0; task < sc.n; ++task) {
+    if ((frame.done & (1u << task)) != 0) continue;
+    bool ready = true;
+    for (int p : sc.ctx.pred[task]) {
+      if ((frame.done & (1u << p)) == 0) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) continue;
+
+    Cycles prevAvail = -1;
+    Cycles prevEst = -1;
+    Cycles prevCost = -1;
+    for (int tile = 0; tile < sc.ctx.cores; ++tile) {
+      const Cycles avail = frame.tileAvail[static_cast<std::size_t>(tile)];
+      Cycles est = avail;
+      for (int p : sc.ctx.pred[task]) {
+        const htg::Dep* dep = sc.edges.find(p, static_cast<int>(task));
+        const Placement& pp = frame.placements[static_cast<std::size_t>(p)];
+        const Cycles comm =
+            dep == nullptr ? 0
+                           : commCost(sc.ctx.platform, *dep, pp.tile, tile);
+        est = std::max(est, pp.finish + comm);
+      }
+      const Cycles cost =
+          sc.ctx.timings[task].wcetByTile[static_cast<std::size_t>(tile)];
+      // Symmetry breaking: a tile this frame cannot tell apart from the
+      // previous one — same availability, same earliest start (which folds
+      // in cross-tile communication from every placed predecessor), same
+      // WCET — yields an identical placement, so skip the repeat. The one
+      // asymmetry this cannot see is *future* communication (a NoC mesh
+      // position matters to tasks not yet placed), so on
+      // topology-asymmetric platforms the search is exact only up to this
+      // tile symmetry; on bus platforms (uniform transfer costs) it is
+      // exact outright.
+      if (avail == prevAvail && est == prevEst && cost == prevCost) {
+        continue;
+      }
+      prevAvail = avail;
+      prevEst = est;
+      prevCost = cost;
+
+      Frame child = frame;
+      Placement p;
+      p.task = static_cast<int>(task);
+      p.tile = tile;
+      p.start = est;
+      p.finish = est + cost;
+      child.placements[task] = p;
+      child.tileAvail[static_cast<std::size_t>(tile)] = p.finish;
+      child.done |= (1u << task);
+      child.makespan = std::max(child.makespan, p.finish);
+      child.workLeft -= sc.minW[task];
+      if (child.makespan < pushBound) push(std::move(child));
+    }
+  }
+}
+
+/// What one subtree reports back for the ladder-order reduction. Only
+/// strict improvements over the seed are recorded, so `placements` is
+/// empty when the subtree found nothing better.
+struct SubtreeResult {
+  Cycles makespan = std::numeric_limits<Cycles>::max();
+  std::vector<Placement> placements;
+  std::int64_t expanded = 0;
+  bool exhausted = false;
+  [[nodiscard]] bool improved() const noexcept { return !placements.empty(); }
+};
+
+/// Classic DFS over one subtree. With `root` = the whole tree and `budget`
+/// = the full node budget this *is* the classic sequential search; the
+/// shared incumbent then only ever holds this searcher's own bound, so the
+/// `lb > shared` check is subsumed by `lb >= localBest`.
+SubtreeResult searchSubtree(const SearchContext& sc, Frame root,
+                            Cycles seedBound, std::int64_t budget,
+                            support::SharedIncumbent& shared) {
+  SubtreeResult out;
+  Cycles localBest = seedBound;
+  std::vector<Frame> stack;
+  stack.push_back(std::move(root));
+  while (!stack.empty()) {
+    if (++out.expanded > budget) {
+      out.exhausted = true;
+      break;
+    }
+    Frame frame = std::move(stack.back());
+    stack.pop_back();
+
+    if (frame.done == sc.allDone) {
+      if (frame.makespan < localBest) {
+        localBest = frame.makespan;
+        out.makespan = frame.makespan;
+        out.placements = std::move(frame.placements);
+        shared.offer(out.makespan);
+      }
+      continue;
+    }
+
+    const Cycles lb = lowerBound(sc, frame);
+    if (lb >= localBest) continue;  // deterministic, local knowledge only
+    // Racy monotone bound; STRICT comparison (see proof above).
+    if (lb > shared.get()) continue;
+    expandChildren(sc, frame, localBest,
+                   [&](Frame child) { stack.push_back(std::move(child)); });
+  }
+  return out;
+}
+
+/// Depth-`depth` frontier in ascending lexicographic (generation) order,
+/// plus the number of nodes expanded to build it (counted against the
+/// shared budget). Generation prunes only against the fixed seed bound,
+/// which keeps the frontier a function of (graph, options) alone.
+struct FrontierResult {
+  std::vector<Frame> nodes;
+  std::int64_t expanded = 0;
+};
+
+/// Deepening stops early once a level reaches this many nodes: deeper
+/// frontiers stop paying off long before this, and the cap bounds the
+/// transient memory of the next expansion. Depends only on sizes, so the
+/// frontier stays deterministic.
+constexpr std::size_t kMaxFrontierNodes = 1024;
+
+FrontierResult generateFrontier(const SearchContext& sc, Frame root,
+                                Cycles seedBound, int depth) {
+  FrontierResult out;
+  out.nodes.push_back(std::move(root));
+  for (int level = 0; level < depth && !out.nodes.empty(); ++level) {
+    if (out.nodes.size() >= kMaxFrontierNodes) break;
+    std::vector<Frame> next;
+    for (Frame& frame : out.nodes) {
+      ++out.expanded;
+      const Cycles lb = lowerBound(sc, frame);
+      if (lb >= seedBound) continue;
+      expandChildren(sc, frame, seedBound,
+                     [&](Frame child) { next.push_back(std::move(child)); });
+    }
+    out.nodes = std::move(next);
+  }
+  return out;
+}
+
+class BnbPolicy final : public SchedulingPolicy {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override {
+    return "branch_and_bound";
+  }
+
+  [[nodiscard]] Schedule run(const SchedContext& ctx,
+                             const SchedOptions& options) const override {
+    const std::size_t n = ctx.graph.tasks.size();
+    if (!bnbExactSearchFeasible(n, options)) {
+      // Exact search is hopeless (bnbTaskLimit) or unrepresentable
+      // (kBnbMaxTasks) at this size; fall back to the heuristic — the ARGO
+      // "exact + heuristics" combination. One consistent rule for both
+      // caps: oversized graphs are scheduled, never rejected.
+      return detail::listSchedule(ctx, options.interferenceAware,
+                                  "branch_and_bound(fallback=heft)");
+    }
+
+    SearchContext sc{ctx, detail::EdgeIndex(ctx.graph),
+                     remainingCriticalPath(ctx), {}, n,
+                     n >= 32 ? ~0u : (1u << n) - 1u};
+    Cycles totalMinWork = 0;
+    sc.minW.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sc.minW[i] = *std::min_element(ctx.timings[i].wcetByTile.begin(),
+                                     ctx.timings[i].wcetByTile.end());
+      totalMinWork += sc.minW[i];
+    }
+
+    // Seed incumbent with HEFT: the search only has to *improve* on it.
+    const Schedule seed =
+        detail::listSchedule(ctx, options.interferenceAware, "heft");
+
+    Frame root;
+    root.placements.resize(n);
+    root.tileAvail.assign(static_cast<std::size_t>(ctx.cores), 0);
+    root.workLeft = totalMinWork;
+
+    const int depth =
+        std::clamp(options.bnbFrontierDepth, 0, static_cast<int>(n));
+    FrontierResult frontier =
+        generateFrontier(sc, std::move(root), seed.makespan, depth);
+    // Ladder order = classic visit order: the stack explores newest-first,
+    // i.e. descending generation order (see proof, point 1).
+    std::reverse(frontier.nodes.begin(), frontier.nodes.end());
+
+    const std::vector<std::int64_t> budgets = bnbSplitNodeBudget(
+        options.bnbNodeBudget - frontier.expanded, frontier.nodes.size());
+
+    support::SharedIncumbent shared(seed.makespan);
+    std::vector<SubtreeResult> results(frontier.nodes.size());
+    support::parallelFor(
+        frontier.nodes.size(), options.parallelThreads, [&](std::size_t i) {
+          results[i] = searchSubtree(sc, std::move(frontier.nodes[i]),
+                                     seed.makespan, budgets[i], shared);
+        });
+
+    // Ladder-order reduction over the per-subtree bests: strict `<`, first
+    // optimum wins, starting from the seed incumbent.
+    Cycles bestMakespan = seed.makespan;
+    const std::vector<Placement>* bestPlacements = &seed.placements;
+    bool budgetExhausted = false;
+    for (const SubtreeResult& r : results) {
+      budgetExhausted = budgetExhausted || r.exhausted;
+      if (r.improved() && r.makespan < bestMakespan) {
+        bestMakespan = r.makespan;
+        bestPlacements = &r.placements;
+      }
+    }
+
+    // Rebuild tile order / usage from the winning placements.
+    Schedule result;
+    result.placements = *bestPlacements;
+    result.makespan = bestMakespan;
+    result.tileOrder.assign(
+        static_cast<std::size_t>(ctx.platform.coreCount()), {});
+    std::vector<int> byStart(n);
+    std::iota(byStart.begin(), byStart.end(), 0);
+    std::sort(byStart.begin(), byStart.end(), [&](int a, int b) {
+      return result.placements[static_cast<std::size_t>(a)].start <
+             result.placements[static_cast<std::size_t>(b)].start;
+    });
+    for (int t : byStart) {
+      result
+          .tileOrder[static_cast<std::size_t>(
+              result.placements[static_cast<std::size_t>(t)].tile)]
+          .push_back(t);
+    }
+    for (const auto& order : result.tileOrder) {
+      if (!order.empty()) ++result.tilesUsed;
+    }
+    result.policy = budgetExhausted ? "branch_and_bound(budget)"
+                                    : "branch_and_bound";
+    return result;
+  }
+};
+
+}  // namespace
+
+std::vector<std::int64_t> bnbSplitNodeBudget(std::int64_t remaining,
+                                             std::size_t subtrees) {
+  if (subtrees == 0) return {};
+  if (remaining < 0) remaining = 0;
+  const std::int64_t count = static_cast<std::int64_t>(subtrees);
+  const std::int64_t share = remaining / count;
+  const std::int64_t extra = remaining % count;
+  std::vector<std::int64_t> budgets(subtrees, share);
+  for (std::int64_t i = 0; i < extra; ++i) {
+    ++budgets[static_cast<std::size_t>(i)];
+  }
+  return budgets;
+}
+
+namespace detail {
+
+std::unique_ptr<SchedulingPolicy> makeBnbPolicy() {
+  return std::make_unique<BnbPolicy>();
+}
+
+}  // namespace detail
+
+}  // namespace argo::sched

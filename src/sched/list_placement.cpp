@@ -1,0 +1,189 @@
+#include "sched/list_placement.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "support/interval.h"
+
+namespace argo::sched::detail {
+
+std::vector<double> upwardRanks(const SchedContext& ctx) {
+  const htg::TaskGraph& graph = ctx.graph;
+  const std::size_t n = graph.tasks.size();
+  std::vector<double> avgW(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& w = ctx.timings[i].wcetByTile;
+    avgW[i] = static_cast<double>(std::accumulate(w.begin(), w.end(),
+                                                  Cycles{0})) /
+              static_cast<double>(w.size());
+  }
+  EdgeIndex edges(graph);
+  // Representative cross-tile pair for communication averaging.
+  const int tileA = 0;
+  const int tileB = ctx.platform.coreCount() - 1;
+  std::vector<double> rank(n, -1.0);
+  // Process in reverse topological order via DFS.
+  std::vector<int> state(n, 0);
+  std::vector<int> stack;
+  for (int root = 0; root < static_cast<int>(n); ++root) {
+    if (state[static_cast<std::size_t>(root)] != 0) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const int t = stack.back();
+      if (state[static_cast<std::size_t>(t)] == 0) {
+        state[static_cast<std::size_t>(t)] = 1;
+        for (int s : ctx.succ[static_cast<std::size_t>(t)]) {
+          if (state[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
+        }
+        continue;
+      }
+      stack.pop_back();
+      if (state[static_cast<std::size_t>(t)] == 2) continue;
+      state[static_cast<std::size_t>(t)] = 2;
+      double best = 0.0;
+      for (int s : ctx.succ[static_cast<std::size_t>(t)]) {
+        const htg::Dep* dep = edges.find(t, s);
+        const double comm =
+            dep == nullptr
+                ? 0.0
+                : static_cast<double>(
+                      commCost(ctx.platform, *dep, tileA, tileB)) /
+                      2.0;
+        best = std::max(best, comm + rank[static_cast<std::size_t>(s)]);
+      }
+      rank[static_cast<std::size_t>(t)] =
+          avgW[static_cast<std::size_t>(t)] + best;
+    }
+  }
+  return rank;
+}
+
+std::vector<int> priorityOrder(const std::vector<double>& rank) {
+  std::vector<int> order(rank.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    if (rank[static_cast<std::size_t>(a)] != rank[static_cast<std::size_t>(b)]) {
+      return rank[static_cast<std::size_t>(a)] >
+             rank[static_cast<std::size_t>(b)];
+    }
+    return a < b;  // deterministic tie-break
+  });
+  return order;
+}
+
+ListPlacer::ListPlacer(const SchedContext& ctx, bool interferenceAware)
+    : ctx_(ctx), edges_(ctx.graph), interferenceAware_(interferenceAware) {
+  placements_.resize(ctx.graph.tasks.size());
+  tileAvail_.assign(static_cast<std::size_t>(ctx.cores), 0);
+  tileOrder_.resize(static_cast<std::size_t>(ctx.cores));
+}
+
+Cycles ListPlacer::earliestStart(int task, int tile) const {
+  Cycles est = tileAvail_[static_cast<std::size_t>(tile)];
+  for (int p : ctx_.pred[static_cast<std::size_t>(task)]) {
+    const htg::Dep* dep = edges_.find(p, task);
+    const Placement& pp = placements_[static_cast<std::size_t>(p)];
+    const Cycles comm =
+        dep == nullptr ? 0 : commCost(ctx_.platform, *dep, pp.tile, tile);
+    est = std::max(est, pp.finish + comm);
+  }
+  return est;
+}
+
+Cycles ListPlacer::placedCost(int task, int tile, Cycles start) const {
+  const Cycles base = baseCost(task, tile);
+  if (!interferenceAware_) return base;
+  const std::int64_t accesses =
+      ctx_.timings[static_cast<std::size_t>(task)].sharedAccesses;
+  if (accesses == 0) return base;
+  // Contenders: tiles whose currently-placed work overlaps the window
+  // this task would occupy (including this task's tile itself).
+  const support::Interval window{start, start + base};
+  int contenders = 1;
+  for (int t = 0; t < ctx_.cores; ++t) {
+    if (t == tile) continue;
+    for (int other : tileOrder_[static_cast<std::size_t>(t)]) {
+      const Placement& op = placements_[static_cast<std::size_t>(other)];
+      if (window.overlaps(support::Interval{op.start, op.finish})) {
+        ++contenders;
+        break;
+      }
+    }
+  }
+  const Cycles extra = ctx_.platform.sharedAccessWorstCase(tile, contenders) -
+                       ctx_.platform.sharedAccessBase(tile);
+  return base + accesses * extra;
+}
+
+void ListPlacer::place(int task, int tile, Cycles start, Cycles cost) {
+  Placement p;
+  p.task = task;
+  p.tile = tile;
+  p.start = start;
+  p.finish = start + cost;
+  placements_[static_cast<std::size_t>(task)] = p;
+  tileAvail_[static_cast<std::size_t>(tile)] = p.finish;
+  tileOrder_[static_cast<std::size_t>(tile)].push_back(task);
+}
+
+Schedule ListPlacer::finish(std::string policy) const {
+  Schedule s;
+  s.placements = placements_;
+  s.tileOrder.assign(
+      static_cast<std::size_t>(ctx_.platform.coreCount()), {});
+  for (int t = 0; t < ctx_.cores; ++t) {
+    s.tileOrder[static_cast<std::size_t>(t)] =
+        tileOrder_[static_cast<std::size_t>(t)];
+  }
+  for (const Placement& p : placements_) {
+    s.makespan = std::max(s.makespan, p.finish);
+  }
+  for (const auto& order : s.tileOrder) {
+    if (!order.empty()) ++s.tilesUsed;
+  }
+  s.policy = std::move(policy);
+  return s;
+}
+
+Schedule listSchedule(const SchedContext& ctx, bool interferenceAware,
+                      std::string policyLabel) {
+  const std::vector<double> rank = upwardRanks(ctx);
+  ListPlacer placer(ctx, interferenceAware);
+  for (int task : priorityOrder(rank)) {
+    int bestTile = 0;
+    Cycles bestStart = 0;
+    Cycles bestCost = 0;
+    Cycles bestEft = std::numeric_limits<Cycles>::max();
+    for (int t = 0; t < ctx.cores; ++t) {
+      const Cycles est = placer.earliestStart(task, t);
+      const Cycles cost = placer.placedCost(task, t, est);
+      const Cycles eft = est + cost;
+      if (eft < bestEft) {
+        bestEft = eft;
+        bestTile = t;
+        bestStart = est;
+        bestCost = cost;
+      }
+    }
+    placer.place(task, bestTile, bestStart, bestCost);
+  }
+  return placer.finish(std::move(policyLabel));
+}
+
+Schedule scheduleWithAssignment(const SchedContext& ctx,
+                                const std::vector<int>& tileOf,
+                                bool interferenceAware,
+                                std::string policyLabel) {
+  const std::vector<double> rank = upwardRanks(ctx);
+  ListPlacer placer(ctx, interferenceAware);
+  for (int task : priorityOrder(rank)) {
+    const int tile = tileOf[static_cast<std::size_t>(task)];
+    const Cycles est = placer.earliestStart(task, tile);
+    const Cycles cost = placer.placedCost(task, tile, est);
+    placer.place(task, tile, est, cost);
+  }
+  return placer.finish(std::move(policyLabel));
+}
+
+}  // namespace argo::sched::detail

@@ -1,0 +1,93 @@
+// Shared list-scheduling machinery (internal to sched/).
+//
+// Every built-in policy is, at its core, a strategy for ordering tasks and
+// picking tiles on top of the same greedy placement mechanics: HEFT and
+// the contention-oblivious baseline place by earliest finish time, the
+// annealer re-places fixed tile assignments, and branch-and-bound reuses
+// the edge index and seeds its incumbent with a HEFT schedule. This header
+// is that common substrate; it is not part of the public sched/ API.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sched/policy.h"
+
+namespace argo::sched::detail {
+
+/// Dependence edge lookup: (from, to) -> edge.
+struct EdgeIndex {
+  explicit EdgeIndex(const htg::TaskGraph& graph) {
+    for (const htg::Dep& d : graph.deps) {
+      edges.emplace(key(d.from, d.to), &d);
+    }
+  }
+  [[nodiscard]] const htg::Dep* find(int from, int to) const {
+    auto it = edges.find(key(from, to));
+    return it == edges.end() ? nullptr : it->second;
+  }
+  static std::uint64_t key(int from, int to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
+  std::map<std::uint64_t, const htg::Dep*> edges;
+};
+
+/// Upward ranks: rank(t) = avgWcet(t) + max over successors of
+/// (avgComm(edge) + rank(succ)). Decreasing rank is a topological order.
+[[nodiscard]] std::vector<double> upwardRanks(const SchedContext& ctx);
+
+/// Task ids by decreasing rank; ties broken by lower task id.
+[[nodiscard]] std::vector<int> priorityOrder(const std::vector<double>& rank);
+
+/// Shared state of the greedy list-scheduling placement loop.
+class ListPlacer {
+ public:
+  ListPlacer(const SchedContext& ctx, bool interferenceAware);
+
+  /// Earliest start of `task` on `tile` given already-placed predecessors.
+  [[nodiscard]] Cycles earliestStart(int task, int tile) const;
+
+  [[nodiscard]] Cycles baseCost(int task, int tile) const {
+    return ctx_.timings[static_cast<std::size_t>(task)]
+        .wcetByTile[static_cast<std::size_t>(tile)];
+  }
+
+  /// Cost of `task` on `tile` starting at `start`, including the
+  /// interference estimate when enabled.
+  [[nodiscard]] Cycles placedCost(int task, int tile, Cycles start) const;
+
+  void place(int task, int tile, Cycles start, Cycles cost);
+
+  [[nodiscard]] Schedule finish(std::string policy) const;
+
+  [[nodiscard]] int cores() const noexcept { return ctx_.cores; }
+
+ private:
+  const SchedContext& ctx_;
+  EdgeIndex edges_;
+  bool interferenceAware_;
+  std::vector<Placement> placements_;
+  std::vector<Cycles> tileAvail_;
+  std::vector<std::vector<int>> tileOrder_;
+};
+
+/// Full HEFT pass: upward-rank priority, earliest-finish-time placement.
+/// The heart of the "heft" policy, the seed of "annealed" and
+/// "branch_and_bound", and (with interferenceAware = false) the
+/// "contention_oblivious" baseline.
+[[nodiscard]] Schedule listSchedule(const SchedContext& ctx,
+                                    bool interferenceAware,
+                                    std::string policyLabel);
+
+/// List-schedules with a fixed task -> tile assignment (used by the
+/// annealer's neighborhood evaluation).
+[[nodiscard]] Schedule scheduleWithAssignment(const SchedContext& ctx,
+                                              const std::vector<int>& tileOf,
+                                              bool interferenceAware,
+                                              std::string policyLabel);
+
+}  // namespace argo::sched::detail

@@ -1,0 +1,55 @@
+// Options shared by every scheduling/mapping policy.
+//
+// The policy itself is selected by registry name (see sched/policy.h), so
+// the option set is the union of what the built-in policies consume; each
+// policy reads the fields it documents and ignores the rest. Custom
+// registered policies receive the same struct.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace argo::sched {
+
+struct SchedOptions {
+  /// Registry name of the policy to run (sched/policy.h). Built-ins:
+  /// "heft", "branch_and_bound", "annealed", "contention_oblivious".
+  /// Unknown names make Scheduler::run throw a ToolchainError that lists
+  /// the registered names.
+  std::string policy = "heft";
+  /// Include interference estimates in the scheduling objective.
+  bool interferenceAware = true;
+  /// Restrict scheduling to the first `coreLimit` tiles (<=0: all).
+  int coreLimit = 0;
+  /// Branch-and-bound: maximum tasks before falling back to HEFT (capped
+  /// further by kBnbMaxTasks, the bitmask width — see sched/bnb.h) and the
+  /// total search-node budget (frontier generation plus all subtrees).
+  int bnbTaskLimit = 14;
+  std::int64_t bnbNodeBudget = 2'000'000;
+  /// Depth (number of placed tasks) at which the branch-and-bound search
+  /// splits into independent subtrees that run through the shared
+  /// support::parallelFor layer. 0 = classic monolithic DFS. The returned
+  /// schedule is bit-identical for every depth and thread count as long as
+  /// the node budget is not exhausted (proof in sched/bnb.cpp).
+  int bnbFrontierDepth = 2;
+  /// Simulated annealing parameters.
+  int saIterations = 4000;
+  double saInitialTemp = 0.20;  ///< Fraction of seed makespan.
+  std::uint64_t seed = 1;
+  /// Independent annealing chains, all starting from the HEFT seed.
+  /// Chain r draws from its own Rng seeded with `seed + r`, so the set of
+  /// chains is fixed by the options alone; the best chain is selected by a
+  /// ladder-order reduction (strict `<`, lowest chain index wins ties),
+  /// making the result identical however the chains are executed. 1 = the
+  /// classic single chain.
+  int saRestarts = 1;
+  /// Worker threads for every parallel phase the scheduler owns: the
+  /// per-task timing analysis at Scheduler construction, annealing
+  /// restarts, and branch-and-bound subtrees. 0 = one per hardware thread,
+  /// 1 = sequential; results are bit-identical either way. Must be 1 when
+  /// the scheduler itself runs inside a pooled phase (core::Toolchain's
+  /// feedback exploration does this), since pools do not nest.
+  int parallelThreads = 1;
+};
+
+}  // namespace argo::sched

@@ -1,0 +1,89 @@
+// Pluggable scheduling-policy framework.
+//
+// Paper Section III-C explores "an approach using a combination of exact
+// techniques and advanced heuristics" for the NP-hard mapping problem.
+// Rather than hard-wiring that combination into one facade, every mapping
+// strategy is a SchedulingPolicy registered under a stable name:
+//
+//  * "heft"                 — WCET-aware list scheduling (the workhorse).
+//  * "branch_and_bound"     — exact makespan-optimal search for small
+//                             graphs, optionally split across the thread
+//                             pool (sched/bnb.h).
+//  * "annealed"             — HEFT seed refined by simulated annealing.
+//  * "contention_oblivious" — interference-blind HEFT baseline
+//                             (the parMERASA-style comparison).
+//
+// Policies are looked up by name (SchedOptions::policy) and run against a
+// SchedContext — the precomputed facts every policy needs. The registry is
+// open: registerPolicy() accepts user-defined policies, which then become
+// selectable through SchedOptions / ToolchainOptions / the argo_cc CLI
+// without touching the dispatch code.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sched/options.h"
+#include "sched/schedule.h"
+
+namespace argo::sched {
+
+/// Read-only facts shared by every policy invocation: the graph with its
+/// dependence adjacency, the platform, the per-task timing tables, and the
+/// effective core count (SchedOptions::coreLimit already applied). All
+/// references outlive the run() call; policies must treat them as
+/// immutable (several policy runs may share them concurrently).
+struct SchedContext {
+  const htg::TaskGraph& graph;
+  const adl::Platform& platform;
+  const std::vector<TaskTiming>& timings;
+  const std::vector<std::vector<int>>& succ;
+  const std::vector<std::vector<int>>& pred;
+  /// Cores actually available to this run: min(coreLimit, coreCount).
+  int cores = 0;
+};
+
+/// One mapping strategy. Implementations must be stateless (or immutable
+/// after registration): a single instance serves concurrent runs, e.g. the
+/// pooled feedback exploration scheduling several candidates at once.
+class SchedulingPolicy {
+ public:
+  virtual ~SchedulingPolicy() = default;
+
+  /// Stable registry name, also the default Schedule::policy label.
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+
+  /// Computes a complete, valid schedule. Determinism contract: the result
+  /// may depend only on `ctx` and `options` — never on thread count,
+  /// wall-clock, or interleaving (docs/ARCHITECTURE.md).
+  [[nodiscard]] virtual Schedule run(const SchedContext& ctx,
+                                     const SchedOptions& options) const = 0;
+};
+
+/// Adds a policy to the global registry. Throws ToolchainError when the
+/// name is already taken. Not safe to call concurrently with lookups from
+/// running schedulers; register at startup.
+void registerPolicy(std::unique_ptr<SchedulingPolicy> policy);
+
+/// Name lookup; nullptr when unknown. The built-in policies are always
+/// registered. The returned pointer stays valid for the process lifetime.
+[[nodiscard]] const SchedulingPolicy* findPolicy(std::string_view name);
+
+/// Like findPolicy, but throws a ToolchainError naming the unknown policy
+/// and listing every registered name (the CLI surfaces this directly).
+[[nodiscard]] const SchedulingPolicy& policyOrThrow(std::string_view name);
+
+/// Sorted names of all registered policies.
+[[nodiscard]] std::vector<std::string> registeredPolicyNames();
+
+namespace detail {
+// Built-in policy factories (one per translation unit under sched/).
+std::unique_ptr<SchedulingPolicy> makeHeftPolicy();
+std::unique_ptr<SchedulingPolicy> makeContentionObliviousPolicy();
+std::unique_ptr<SchedulingPolicy> makeBnbPolicy();
+std::unique_ptr<SchedulingPolicy> makeAnnealedPolicy();
+}  // namespace detail
+
+}  // namespace argo::sched

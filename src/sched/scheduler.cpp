@@ -1,35 +1,18 @@
 #include "sched/scheduler.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
-#include <map>
-#include <numeric>
 
 #include "support/diagnostics.h"
-#include "support/interval.h"
-#include "support/parallel.h"
-#include "support/rng.h"
 
 namespace argo::sched {
 
 using support::ToolchainError;
 
-const char* policyName(Policy policy) noexcept {
-  switch (policy) {
-    case Policy::Heft: return "heft";
-    case Policy::BranchAndBound: return "branch_and_bound";
-    case Policy::Annealed: return "annealed";
-    case Policy::ContentionOblivious: return "contention_oblivious";
-  }
-  return "?";
-}
-
 Scheduler::Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform,
-                     int timingThreads)
+                     const SchedOptions& options)
     : graph_(graph),
       platform_(platform),
-      timings_(computeTaskTimings(graph, platform, timingThreads)),
+      timings_(computeTaskTimings(graph, platform, options.parallelThreads)),
       succ_(graph.successors()),
       pred_(graph.predecessors()) {}
 
@@ -38,544 +21,13 @@ int Scheduler::effectiveCores(const SchedOptions& options) const {
   return std::min(options.coreLimit, platform_.coreCount());
 }
 
-namespace {
-
-/// Dependence edge lookup: (from, to) -> edge.
-struct EdgeIndex {
-  explicit EdgeIndex(const htg::TaskGraph& graph) {
-    for (const htg::Dep& d : graph.deps) {
-      edges.emplace(key(d.from, d.to), &d);
-    }
-  }
-  [[nodiscard]] const htg::Dep* find(int from, int to) const {
-    auto it = edges.find(key(from, to));
-    return it == edges.end() ? nullptr : it->second;
-  }
-  static std::uint64_t key(int from, int to) {
-    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
-            << 32) |
-           static_cast<std::uint32_t>(to);
-  }
-  std::map<std::uint64_t, const htg::Dep*> edges;
-};
-
-/// Upward ranks: rank(t) = avgWcet(t) + max over successors of
-/// (avgComm(edge) + rank(succ)). Decreasing rank is a topological order.
-std::vector<double> upwardRanks(const htg::TaskGraph& graph,
-                                const std::vector<TaskTiming>& timings,
-                                const adl::Platform& platform,
-                                const std::vector<std::vector<int>>& succ) {
-  const std::size_t n = graph.tasks.size();
-  std::vector<double> avgW(n, 0.0);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& w = timings[i].wcetByTile;
-    avgW[i] = static_cast<double>(std::accumulate(w.begin(), w.end(),
-                                                  Cycles{0})) /
-              static_cast<double>(w.size());
-  }
-  EdgeIndex edges(graph);
-  // Representative cross-tile pair for communication averaging.
-  const int tileA = 0;
-  const int tileB = platform.coreCount() - 1;
-  std::vector<double> rank(n, -1.0);
-  // Process in reverse topological order via DFS.
-  std::vector<int> state(n, 0);
-  std::vector<int> stack;
-  for (int root = 0; root < static_cast<int>(n); ++root) {
-    if (state[static_cast<std::size_t>(root)] != 0) continue;
-    stack.push_back(root);
-    while (!stack.empty()) {
-      const int t = stack.back();
-      if (state[static_cast<std::size_t>(t)] == 0) {
-        state[static_cast<std::size_t>(t)] = 1;
-        for (int s : succ[static_cast<std::size_t>(t)]) {
-          if (state[static_cast<std::size_t>(s)] == 0) stack.push_back(s);
-        }
-        continue;
-      }
-      stack.pop_back();
-      if (state[static_cast<std::size_t>(t)] == 2) continue;
-      state[static_cast<std::size_t>(t)] = 2;
-      double best = 0.0;
-      for (int s : succ[static_cast<std::size_t>(t)]) {
-        const htg::Dep* dep = edges.find(t, s);
-        const double comm =
-            dep == nullptr
-                ? 0.0
-                : static_cast<double>(commCost(platform, *dep, tileA, tileB)) /
-                      2.0;
-        best = std::max(best, comm + rank[static_cast<std::size_t>(s)]);
-      }
-      rank[static_cast<std::size_t>(t)] = avgW[t] + best;
-    }
-  }
-  return rank;
-}
-
-std::vector<int> priorityOrder(const std::vector<double>& rank) {
-  std::vector<int> order(rank.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    if (rank[static_cast<std::size_t>(a)] != rank[static_cast<std::size_t>(b)]) {
-      return rank[static_cast<std::size_t>(a)] >
-             rank[static_cast<std::size_t>(b)];
-    }
-    return a < b;  // deterministic tie-break
-  });
-  return order;
-}
-
-/// Shared state of the greedy list-scheduling placement loop.
-class ListPlacer {
- public:
-  ListPlacer(const htg::TaskGraph& graph, const adl::Platform& platform,
-             const std::vector<TaskTiming>& timings,
-             const std::vector<std::vector<int>>& pred, int cores,
-             bool interferenceAware)
-      : graph_(graph),
-        platform_(platform),
-        timings_(timings),
-        pred_(pred),
-        edges_(graph),
-        cores_(cores),
-        interferenceAware_(interferenceAware) {
-    placements_.resize(graph.tasks.size());
-    tileAvail_.assign(static_cast<std::size_t>(cores), 0);
-    tileOrder_.resize(static_cast<std::size_t>(cores));
-  }
-
-  /// Earliest start of `task` on `tile` given already-placed predecessors.
-  [[nodiscard]] Cycles earliestStart(int task, int tile) const {
-    Cycles est = tileAvail_[static_cast<std::size_t>(tile)];
-    for (int p : pred_[static_cast<std::size_t>(task)]) {
-      const htg::Dep* dep = edges_.find(p, task);
-      const Placement& pp = placements_[static_cast<std::size_t>(p)];
-      const Cycles comm =
-          dep == nullptr ? 0 : commCost(platform_, *dep, pp.tile, tile);
-      est = std::max(est, pp.finish + comm);
-    }
-    return est;
-  }
-
-  [[nodiscard]] Cycles baseCost(int task, int tile) const {
-    return timings_[static_cast<std::size_t>(task)]
-        .wcetByTile[static_cast<std::size_t>(tile)];
-  }
-
-  /// Cost of `task` on `tile` starting at `start`, including the
-  /// interference estimate when enabled.
-  [[nodiscard]] Cycles placedCost(int task, int tile, Cycles start) const {
-    const Cycles base = baseCost(task, tile);
-    if (!interferenceAware_) return base;
-    const std::int64_t accesses =
-        timings_[static_cast<std::size_t>(task)].sharedAccesses;
-    if (accesses == 0) return base;
-    // Contenders: tiles whose currently-placed work overlaps the window
-    // this task would occupy (including this task's tile itself).
-    const support::Interval window{start, start + base};
-    int contenders = 1;
-    for (int t = 0; t < cores_; ++t) {
-      if (t == tile) continue;
-      for (int other : tileOrder_[static_cast<std::size_t>(t)]) {
-        const Placement& op = placements_[static_cast<std::size_t>(other)];
-        if (window.overlaps(support::Interval{op.start, op.finish})) {
-          ++contenders;
-          break;
-        }
-      }
-    }
-    const Cycles extra = platform_.sharedAccessWorstCase(tile, contenders) -
-                         platform_.sharedAccessBase(tile);
-    return base + accesses * extra;
-  }
-
-  void place(int task, int tile, Cycles start, Cycles cost) {
-    Placement p;
-    p.task = task;
-    p.tile = tile;
-    p.start = start;
-    p.finish = start + cost;
-    placements_[static_cast<std::size_t>(task)] = p;
-    tileAvail_[static_cast<std::size_t>(tile)] = p.finish;
-    tileOrder_[static_cast<std::size_t>(tile)].push_back(task);
-  }
-
-  [[nodiscard]] Schedule finish(std::string policy) const {
-    Schedule s;
-    s.placements = placements_;
-    s.tileOrder.assign(
-        static_cast<std::size_t>(platform_.coreCount()), {});
-    for (int t = 0; t < cores_; ++t) {
-      s.tileOrder[static_cast<std::size_t>(t)] =
-          tileOrder_[static_cast<std::size_t>(t)];
-    }
-    for (const Placement& p : placements_) {
-      s.makespan = std::max(s.makespan, p.finish);
-    }
-    for (const auto& order : s.tileOrder) {
-      if (!order.empty()) ++s.tilesUsed;
-    }
-    s.policy = std::move(policy);
-    return s;
-  }
-
-  [[nodiscard]] int cores() const noexcept { return cores_; }
-
- private:
-  const htg::TaskGraph& graph_;
-  const adl::Platform& platform_;
-  const std::vector<TaskTiming>& timings_;
-  const std::vector<std::vector<int>>& pred_;
-  EdgeIndex edges_;
-  int cores_;
-  bool interferenceAware_;
-  std::vector<Placement> placements_;
-  std::vector<Cycles> tileAvail_;
-  std::vector<std::vector<int>> tileOrder_;
-};
-
-}  // namespace
-
-Schedule Scheduler::runHeft(const SchedOptions& options,
-                            bool interferenceAware) const {
-  const int cores = effectiveCores(options);
-  const std::vector<double> rank =
-      upwardRanks(graph_, timings_, platform_, succ_);
-  ListPlacer placer(graph_, platform_, timings_, pred_, cores,
-                    interferenceAware);
-  for (int task : priorityOrder(rank)) {
-    int bestTile = 0;
-    Cycles bestStart = 0;
-    Cycles bestCost = 0;
-    Cycles bestEft = std::numeric_limits<Cycles>::max();
-    for (int t = 0; t < cores; ++t) {
-      const Cycles est = placer.earliestStart(task, t);
-      const Cycles cost = placer.placedCost(task, t, est);
-      const Cycles eft = est + cost;
-      if (eft < bestEft) {
-        bestEft = eft;
-        bestTile = t;
-        bestStart = est;
-        bestCost = cost;
-      }
-    }
-    placer.place(task, bestTile, bestStart, bestCost);
-  }
-  return placer.finish(interferenceAware ? "heft" : "contention_oblivious");
-}
-
-Schedule Scheduler::scheduleWithAssignment(const std::vector<int>& tileOf,
-                                           const SchedOptions& options) const {
-  const int cores = effectiveCores(options);
-  const std::vector<double> rank =
-      upwardRanks(graph_, timings_, platform_, succ_);
-  ListPlacer placer(graph_, platform_, timings_, pred_, cores,
-                    options.interferenceAware);
-  for (int task : priorityOrder(rank)) {
-    const int tile = tileOf[static_cast<std::size_t>(task)];
-    const Cycles est = placer.earliestStart(task, tile);
-    const Cycles cost = placer.placedCost(task, tile, est);
-    placer.place(task, tile, est, cost);
-  }
-  return placer.finish("annealed");
-}
-
-Schedule Scheduler::runAnnealed(const SchedOptions& options) const {
-  Schedule seed = runHeft(options, options.interferenceAware);
-  const int cores = effectiveCores(options);
-  const std::size_t n = graph_.tasks.size();
-  std::vector<int> seedAssignment(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    seedAssignment[i] = seed.placements[i].tile;
-  }
-
-  // One independent annealing chain. Chain state is entirely local (the
-  // Scheduler is only read), so chains run concurrently; chain r's random
-  // stream is fixed by `options.seed + r` alone, which keeps every chain's
-  // outcome reproducible regardless of thread count or interleaving.
-  struct ChainResult {
-    Cycles makespan = 0;
-    std::vector<int> assignment;
-  };
-  const auto runChain = [&](std::uint64_t chainSeed) {
-    ChainResult out;
-    out.makespan = seed.makespan;
-    out.assignment = seedAssignment;
-    std::vector<int> assignment = seedAssignment;
-    Cycles current = seed.makespan;
-
-    support::Rng rng(chainSeed);
-    double temperature =
-        options.saInitialTemp * static_cast<double>(seed.makespan);
-    const double cooling =
-        std::pow(0.01, 1.0 / std::max(1, options.saIterations));
-
-    for (int iter = 0; iter < options.saIterations; ++iter) {
-      const std::size_t task =
-          static_cast<std::size_t>(rng.uniformInt(0, static_cast<int>(n) - 1));
-      const int oldTile = assignment[task];
-      const int newTile = static_cast<int>(rng.uniformInt(0, cores - 1));
-      if (newTile == oldTile) continue;
-      assignment[task] = newTile;
-      const Schedule candidate = scheduleWithAssignment(assignment, options);
-      const double delta = static_cast<double>(candidate.makespan) -
-                           static_cast<double>(current);
-      const bool accept =
-          delta <= 0.0 ||
-          rng.uniformDouble() < std::exp(-delta / std::max(1.0, temperature));
-      if (accept) {
-        current = candidate.makespan;
-        if (candidate.makespan < out.makespan) {
-          out.makespan = candidate.makespan;
-          out.assignment = assignment;
-        }
-      } else {
-        assignment[task] = oldTile;
-      }
-      temperature *= cooling;
-    }
-    return out;
-  };
-
-  // Restarts write into per-chain slots; the reduction below walks them in
-  // ladder order (strict `<`, lowest chain wins ties), so the selected
-  // assignment is bit-identical to running the chains one after another.
-  const std::size_t restarts =
-      static_cast<std::size_t>(std::max(1, options.saRestarts));
-  std::vector<ChainResult> chains(restarts);
-  support::parallelFor(restarts, options.parallelThreads, [&](std::size_t r) {
-    chains[r] = runChain(options.seed + r);
-  });
-
-  Cycles bestMakespan = seed.makespan;
-  const std::vector<int>* best = &seedAssignment;
-  for (const ChainResult& chain : chains) {
-    if (chain.makespan < bestMakespan) {
-      bestMakespan = chain.makespan;
-      best = &chain.assignment;
-    }
-  }
-
-  Schedule result = scheduleWithAssignment(*best, options);
-  // Annealing never returns something worse than its seed.
-  if (result.makespan > seed.makespan) {
-    seed.policy = "annealed";
-    return seed;
-  }
-  result.policy = "annealed";
-  return result;
-}
-
-namespace {
-
-/// Remaining critical path per task (min-WCET weights, no communication):
-/// an admissible lower bound for branch-and-bound pruning.
-std::vector<Cycles> remainingCriticalPath(
-    const htg::TaskGraph& graph, const std::vector<TaskTiming>& timings,
-    const std::vector<std::vector<int>>& succ) {
-  const std::size_t n = graph.tasks.size();
-  std::vector<Cycles> minW(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    minW[i] = *std::min_element(timings[i].wcetByTile.begin(),
-                                timings[i].wcetByTile.end());
-  }
-  std::vector<Cycles> cp(n, -1);
-  // Reverse topological accumulation (iterate until stable; graphs are
-  // small when BnB is enabled).
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      Cycles tail = 0;
-      bool ready = true;
-      for (int s : succ[i]) {
-        if (cp[static_cast<std::size_t>(s)] < 0) {
-          ready = false;
-          break;
-        }
-        tail = std::max(tail, cp[static_cast<std::size_t>(s)]);
-      }
-      if (!ready) continue;
-      const Cycles value = minW[i] + tail;
-      if (value != cp[i]) {
-        cp[i] = value;
-        changed = true;
-      }
-    }
-  }
-  return cp;
-}
-
-}  // namespace
-
-Schedule Scheduler::runBnB(const SchedOptions& options) const {
-  const std::size_t n = graph_.tasks.size();
-  if (static_cast<int>(n) > options.bnbTaskLimit) {
-    // Exact search is hopeless at this size; fall back to the heuristic
-    // (documented behaviour, mirrored in the ARGO "exact + heuristics"
-    // combination).
-    Schedule fallback = runHeft(options, options.interferenceAware);
-    fallback.policy = "branch_and_bound(fallback=heft)";
-    return fallback;
-  }
-  const int cores = effectiveCores(options);
-  EdgeIndex edges(graph_);
-  const std::vector<Cycles> cp =
-      remainingCriticalPath(graph_, timings_, succ_);
-
-  // Seed incumbent with HEFT.
-  Schedule incumbent = runHeft(options, options.interferenceAware);
-  Cycles bestMakespan = incumbent.makespan;
-
-  struct Frame {
-    std::vector<Placement> placements;
-    std::vector<Cycles> tileAvail;
-    std::uint32_t done = 0;  // bitmask of scheduled tasks
-    Cycles makespan = 0;
-    Cycles workLeft = 0;
-  };
-
-  Cycles totalMinWork = 0;
-  std::vector<Cycles> minW(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    minW[i] = *std::min_element(timings_[i].wcetByTile.begin(),
-                                timings_[i].wcetByTile.end());
-    totalMinWork += minW[i];
-  }
-
-  Frame root;
-  root.placements.resize(n);
-  root.tileAvail.assign(static_cast<std::size_t>(cores), 0);
-  root.workLeft = totalMinWork;
-
-  std::vector<Frame> stack;
-  stack.push_back(std::move(root));
-  std::int64_t expanded = 0;
-  bool budgetExhausted = false;
-
-  while (!stack.empty()) {
-    if (++expanded > options.bnbNodeBudget) {
-      budgetExhausted = true;
-      break;
-    }
-    Frame frame = std::move(stack.back());
-    stack.pop_back();
-
-    if (frame.done == (1u << n) - 1u) {
-      if (frame.makespan < bestMakespan) {
-        bestMakespan = frame.makespan;
-        incumbent.placements = frame.placements;
-        incumbent.makespan = frame.makespan;
-      }
-      continue;
-    }
-
-    // Lower bounds: critical path of any unscheduled task, and total
-    // remaining work spread over all cores.
-    Cycles lb = frame.makespan;
-    for (std::size_t i = 0; i < n; ++i) {
-      if ((frame.done & (1u << i)) == 0) lb = std::max(lb, cp[i]);
-    }
-    const Cycles minAvail =
-        *std::min_element(frame.tileAvail.begin(), frame.tileAvail.end());
-    lb = std::max(lb, minAvail + frame.workLeft / cores);
-    if (lb >= bestMakespan) continue;
-
-    for (std::size_t task = 0; task < n; ++task) {
-      if ((frame.done & (1u << task)) != 0) continue;
-      bool ready = true;
-      for (int p : pred_[task]) {
-        if ((frame.done & (1u << p)) == 0) {
-          ready = false;
-          break;
-        }
-      }
-      if (!ready) continue;
-
-      Cycles prevAvail = -1;
-      for (int tile = 0; tile < cores; ++tile) {
-        // Symmetry breaking: identical idle tiles yield identical
-        // subtrees; skip repeats (valid on homogeneous platforms; on
-        // heterogeneous ones availabilities rarely tie, so the loss is
-        // nil).
-        if (frame.tileAvail[static_cast<std::size_t>(tile)] == prevAvail) {
-          continue;
-        }
-        prevAvail = frame.tileAvail[static_cast<std::size_t>(tile)];
-
-        Cycles est = frame.tileAvail[static_cast<std::size_t>(tile)];
-        for (int p : pred_[task]) {
-          const htg::Dep* dep = edges.find(p, static_cast<int>(task));
-          const Placement& pp = frame.placements[static_cast<std::size_t>(p)];
-          const Cycles comm =
-              dep == nullptr ? 0 : commCost(platform_, *dep, pp.tile, tile);
-          est = std::max(est, pp.finish + comm);
-        }
-        const Cycles cost =
-            timings_[task].wcetByTile[static_cast<std::size_t>(tile)];
-        Frame child = frame;
-        Placement p;
-        p.task = static_cast<int>(task);
-        p.tile = tile;
-        p.start = est;
-        p.finish = est + cost;
-        child.placements[task] = p;
-        child.tileAvail[static_cast<std::size_t>(tile)] = p.finish;
-        child.done |= (1u << task);
-        child.makespan = std::max(child.makespan, p.finish);
-        child.workLeft -= minW[task];
-        if (child.makespan < bestMakespan) stack.push_back(std::move(child));
-      }
-    }
-  }
-
-  // Rebuild tile order / usage from placements.
-  Schedule result;
-  result.placements = incumbent.placements;
-  result.makespan = bestMakespan;
-  result.tileOrder.assign(static_cast<std::size_t>(platform_.coreCount()), {});
-  std::vector<int> byStart(n);
-  std::iota(byStart.begin(), byStart.end(), 0);
-  std::sort(byStart.begin(), byStart.end(), [&](int a, int b) {
-    return result.placements[static_cast<std::size_t>(a)].start <
-           result.placements[static_cast<std::size_t>(b)].start;
-  });
-  for (int t : byStart) {
-    result.tileOrder[static_cast<std::size_t>(
-                         result.placements[static_cast<std::size_t>(t)].tile)]
-        .push_back(t);
-  }
-  for (const auto& order : result.tileOrder) {
-    if (!order.empty()) ++result.tilesUsed;
-  }
-  result.policy = budgetExhausted ? "branch_and_bound(budget)"
-                                  : "branch_and_bound";
-  return result;
-}
-
 Schedule Scheduler::run(const SchedOptions& options) const {
   if (graph_.tasks.empty()) {
     throw ToolchainError("scheduler: empty task graph");
   }
-  if (graph_.tasks.size() > 31) {
-    // Bitmask-based exact search is limited to 31 tasks; other policies
-    // have no such limit.
-    if (options.policy == Policy::BranchAndBound &&
-        static_cast<int>(graph_.tasks.size()) <= options.bnbTaskLimit) {
-      throw ToolchainError("branch-and-bound limited to 31 tasks");
-    }
-  }
-  switch (options.policy) {
-    case Policy::Heft:
-      return runHeft(options, options.interferenceAware);
-    case Policy::ContentionOblivious:
-      return runHeft(options, /*interferenceAware=*/false);
-    case Policy::BranchAndBound:
-      return runBnB(options);
-    case Policy::Annealed:
-      return runAnnealed(options);
-  }
-  throw ToolchainError("unknown scheduling policy");
+  const SchedContext ctx{graph_,  platform_, timings_,
+                         succ_,   pred_,     effectiveCores(options)};
+  return policyOrThrow(options.policy).run(ctx, options);
 }
 
 }  // namespace argo::sched

@@ -1,86 +1,35 @@
-// WCET-aware scheduling and mapping policies.
+// WCET-aware scheduling and mapping: the Scheduler facade.
 //
 // Paper Section III-C: the mapping problem is NP-hard; ARGO explores "an
 // approach using a combination of exact techniques and advanced
-// heuristics". This module provides:
-//
-//  * Heft                — WCET-aware list scheduling (upward-rank priority,
-//                          earliest-finish-time placement). The workhorse.
-//  * BranchAndBound      — exact makespan-optimal search over append-only
-//                          schedules for small graphs (the "exact
-//                          technique"; exponential, guarded by limits).
-//  * Annealed            — HEFT seed refined by simulated annealing over
-//                          tile assignments (the "advanced heuristic");
-//                          runs saRestarts independent chains, pooled when
-//                          parallelThreads != 1, with a deterministic
-//                          ladder-order selection of the best chain.
-//  * ContentionOblivious — average-case-style baseline: identical HEFT
-//                          machinery but blind to shared-resource
-//                          interference (models the parMERASA-style
-//                          manually parallelized comparison of Section
-//                          III-C). Used by bench_interference.
-//
-// When `interferenceAware` is set, every task's cost during scheduling is
-// inflated by a contention estimate — sharedAccesses x (worst-case access
-// under k live contenders - uncontended access) — so the scheduler prefers
-// placements that keep the number of simultaneous contenders low, the
-// paper's central idea ("At any point in time, all shared resource
-// contenders are known and their number is reduced during parallelization").
+// heuristics". The strategies themselves are pluggable SchedulingPolicy
+// objects selected by name (see sched/policy.h for the built-ins and the
+// registry); this facade owns what every policy shares — the per-task
+// timing tables (computed once, in parallel when allowed) and the graph's
+// dependence adjacency — and dispatches run() through the registry.
 #pragma once
 
-#include <cstdint>
-
+#include "sched/options.h"
+#include "sched/policy.h"
 #include "sched/schedule.h"
 
 namespace argo::sched {
 
-/// Scheduling policy selector.
-enum class Policy : std::uint8_t {
-  Heft,
-  BranchAndBound,
-  Annealed,
-  ContentionOblivious,
-};
-
-[[nodiscard]] const char* policyName(Policy policy) noexcept;
-
-struct SchedOptions {
-  Policy policy = Policy::Heft;
-  /// Include interference estimates in the scheduling objective.
-  bool interferenceAware = true;
-  /// Restrict scheduling to the first `coreLimit` tiles (<=0: all).
-  int coreLimit = 0;
-  /// Branch-and-bound: maximum tasks (falls back to HEFT beyond this) and
-  /// search-node budget.
-  int bnbTaskLimit = 14;
-  std::int64_t bnbNodeBudget = 2'000'000;
-  /// Simulated annealing parameters.
-  int saIterations = 4000;
-  double saInitialTemp = 0.20;  ///< Fraction of seed makespan.
-  std::uint64_t seed = 1;
-  /// Independent annealing chains, all starting from the HEFT seed.
-  /// Chain r draws from its own Rng seeded with `seed + r`, so the set of
-  /// chains is fixed by the options alone; the best chain is selected by a
-  /// ladder-order reduction (strict `<`, lowest chain index wins ties),
-  /// making the result identical however the chains are executed. 1 = the
-  /// classic single chain.
-  int saRestarts = 1;
-  /// Worker threads for the scheduler's own parallel phases (annealing
-  /// restarts). 0 = one per hardware thread, 1 = sequential; results are
-  /// bit-identical either way. Must be 1 when the scheduler itself runs
-  /// inside a pooled phase (core::Toolchain's feedback exploration does
-  /// this), since pools do not nest.
-  int parallelThreads = 1;
-};
-
-/// Facade over all policies.
+/// Facade over the policy registry: precomputes the SchedContext facts for
+/// one (graph, platform) pair, then runs any policy against them.
 class Scheduler {
  public:
-  /// `timingThreads` parallelizes the per-task timing analysis done at
-  /// construction (see computeTaskTimings); the default keeps it inline.
+  /// The per-task timing analysis runs at construction and is pooled per
+  /// `options.parallelThreads` (see computeTaskTimings) — the same knob
+  /// that governs the policies' own parallel phases, so callers configure
+  /// scheduling parallelism in exactly one place. The default keeps it
+  /// inline.
   Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform,
-            int timingThreads = 1);
+            const SchedOptions& options = {});
 
+  /// Dispatches to the policy registered under `options.policy`. Throws
+  /// ToolchainError for an empty graph or an unknown policy name (the
+  /// error lists the registered names).
   [[nodiscard]] Schedule run(const SchedOptions& options) const;
 
   [[nodiscard]] const std::vector<TaskTiming>& timings() const noexcept {
@@ -88,15 +37,6 @@ class Scheduler {
   }
 
  private:
-  [[nodiscard]] Schedule runHeft(const SchedOptions& options,
-                                 bool interferenceAware) const;
-  [[nodiscard]] Schedule runBnB(const SchedOptions& options) const;
-  [[nodiscard]] Schedule runAnnealed(const SchedOptions& options) const;
-
-  /// List-schedules with a fixed tile assignment (used by annealing).
-  [[nodiscard]] Schedule scheduleWithAssignment(
-      const std::vector<int>& tileOf, const SchedOptions& options) const;
-
   [[nodiscard]] int effectiveCores(const SchedOptions& options) const;
 
   const htg::TaskGraph& graph_;

@@ -2,9 +2,9 @@
 //
 // A thin layer over support::ThreadPool that every embarrassingly parallel
 // phase (cross-layer feedback exploration, per-task timing analysis,
-// annealing restarts, MHP rows, simulator trials) shares instead of
-// hand-rolling its own pool handling. The contract, identical for the
-// sequential and the pooled path:
+// annealing restarts, branch-and-bound subtrees, MHP rows, simulator
+// trials) shares instead of hand-rolling its own pool handling. The
+// contract, identical for the sequential and the pooled path:
 //
 //  * parallelFor(n, threads, fn) runs fn(i) for every i in [0, n). Every
 //    index executes even if another index throws; when several indices
@@ -15,7 +15,10 @@
 //    need bit-identical results against a sequential run write into
 //    per-index slots and reduce strictly in index order afterwards
 //    ("ladder-order reduction"; see docs/ARCHITECTURE.md, "Determinism
-//    contract").
+//    contract"). The one sanctioned piece of shared mutable state between
+//    tasks is a support::SharedIncumbent used for strictly-non-improving
+//    pruning (see shared_incumbent.h for why that preserves determinism);
+//    results themselves always go through slots.
 //  * Pools do not nest: requesting a pooled run (resolved parallelism > 1)
 //    from inside a parallelFor task throws ToolchainError. Inner phases
 //    invoked from a pooled outer phase must pass threads = 1, which runs

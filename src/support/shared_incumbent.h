@@ -1,0 +1,65 @@
+// Atomic monotone-min incumbent bound for parallel branch-and-bound.
+//
+// This is the one sanctioned exception to the determinism layer's
+// "per-index slots, no shared state" pattern (docs/ARCHITECTURE.md,
+// "Determinism contract"): worker tasks running under support::parallelFor
+// may share a SharedIncumbent, because the only thing it can do is shrink.
+//
+// Why sharing it is safe under the contract:
+//
+//  * The value is *monotone*: offer() only ever lowers it, so at any moment
+//    every reader observes some value >= the final minimum. Which value a
+//    reader observes is racy — that is the point — but every observable
+//    value is a sound (conservative) upper bound on the optimum.
+//  * Callers may use the observed value only to *prune provably
+//    non-improving work* with a strict comparison (skip a subtree only
+//    when its lower bound is strictly greater than the incumbent). Work
+//    skipped that way cannot contain the optimum, nor anything tying it,
+//    so the search result is independent of the race (the full proof lives
+//    at the use site, src/sched/bnb.cpp).
+//  * It must never carry results. Schedules, placements, tables all still
+//    go through per-index slots + ladder-order reduction; the incumbent is
+//    a bound, not an answer.
+//
+// Memory order is relaxed throughout: no data is published *through* the
+// incumbent (results travel via the pool's per-index slots, which the pool
+// join synchronizes), so only the monotone value itself matters.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace argo::support {
+
+class SharedIncumbent {
+ public:
+  explicit SharedIncumbent(std::int64_t initial) noexcept : value_(initial) {}
+
+  SharedIncumbent(const SharedIncumbent&) = delete;
+  SharedIncumbent& operator=(const SharedIncumbent&) = delete;
+
+  /// Current bound. Racy but monotone: never larger than any previously
+  /// observed value, never smaller than the final minimum.
+  [[nodiscard]] std::int64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+  /// Lowers the bound to `candidate` if it improves on the current value.
+  /// Returns true when this call strictly lowered the bound.
+  bool offer(std::int64_t candidate) noexcept {
+    std::int64_t current = value_.load(std::memory_order_relaxed);
+    while (candidate < current) {
+      if (value_.compare_exchange_weak(current, candidate,
+                                       std::memory_order_relaxed)) {
+        return true;
+      }
+      // compare_exchange_weak reloaded `current`; retry while improving.
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<std::int64_t> value_;
+};
+
+}  // namespace argo::support

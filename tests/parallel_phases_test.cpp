@@ -10,6 +10,7 @@
 #include "../bench/common.h"  // bench::observedWorst (pooled trials)
 #include "apps/polka.h"
 #include "core/toolchain.h"
+#include "diamond_fixture.h"
 #include "htg/htg.h"
 #include "ir/builder.h"
 #include "sched/scheduler.h"
@@ -20,37 +21,7 @@
 namespace argo {
 namespace {
 
-using ir::ScalarKind;
-using ir::Type;
-using ir::VarRole;
-
-/// Diamond over shared arrays (same shape as sched_test.cpp): enough
-/// structure for distinct per-tile timings and a non-trivial HB graph.
-std::unique_ptr<ir::Function> makeDiamondFn(int width = 16) {
-  auto fn = std::make_unique<ir::Function>("diamond");
-  fn->declare("u", Type::array(ScalarKind::Float64, {width}), VarRole::Input);
-  fn->declare("a", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
-  fn->declare("l", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
-  fn->declare("r", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
-  fn->declare("y", Type::array(ScalarKind::Float64, {width}), VarRole::Output);
-  auto loop = [&](const char* out, const char* in, double k, const char* var) {
-    auto body = ir::block();
-    body->append(
-        ir::assign(ir::ref(out, ir::exprVec(ir::var(var))),
-                   ir::mul(ir::ref(in, ir::exprVec(ir::var(var))), ir::flt(k))));
-    return ir::forLoop(var, 0, width, std::move(body));
-  };
-  fn->body().append(loop("a", "u", 2.0, "i0"));
-  fn->body().append(loop("l", "a", 3.0, "i1"));
-  fn->body().append(loop("r", "a", 5.0, "i2"));
-  auto body = ir::block();
-  body->append(ir::assign(
-      ir::ref("y", ir::exprVec(ir::var("i3"))),
-      ir::add(ir::ref("l", ir::exprVec(ir::var("i3"))),
-              ir::ref("r", ir::exprVec(ir::var("i3"))))));
-  fn->body().append(ir::forLoop("i3", 0, width, std::move(body)));
-  return fn;
-}
+using test::makeDiamondFn;
 
 struct Fixture {
   std::unique_ptr<ir::Function> fn;
@@ -98,9 +69,15 @@ TEST(ParallelTimings, PooledTableMatchesSequentialBitForBit) {
 }
 
 TEST(ParallelTimings, SchedulerTimingThreadsDoNotChangeSchedules) {
+  // Timing parallelism comes from the same SchedOptions::parallelThreads
+  // knob as every other scheduler phase (there is no separate ctor knob).
   Fixture fx;
-  const sched::Scheduler sequential(fx.graph, fx.platform, 1);
-  const sched::Scheduler pooled(fx.graph, fx.platform, 4);
+  sched::SchedOptions seqKnobs;
+  seqKnobs.parallelThreads = 1;
+  sched::SchedOptions pooledKnobs;
+  pooledKnobs.parallelThreads = 4;
+  const sched::Scheduler sequential(fx.graph, fx.platform, seqKnobs);
+  const sched::Scheduler pooled(fx.graph, fx.platform, pooledKnobs);
   sched::SchedOptions options;
   expectSameSchedule(sequential.run(options), pooled.run(options));
 }
@@ -109,7 +86,7 @@ TEST(ParallelAnneal, PooledRestartsMatchSequentialBitForBit) {
   Fixture fx;
   const sched::Scheduler scheduler(fx.graph, fx.platform);
   sched::SchedOptions options;
-  options.policy = sched::Policy::Annealed;
+  options.policy = "annealed";
   options.saIterations = 400;
   options.saRestarts = 4;
 
@@ -127,7 +104,7 @@ TEST(ParallelAnneal, SingleRestartReproducesTheClassicChain) {
   Fixture fx;
   const sched::Scheduler scheduler(fx.graph, fx.platform);
   sched::SchedOptions options;
-  options.policy = sched::Policy::Annealed;
+  options.policy = "annealed";
   options.saIterations = 400;
 
   options.saRestarts = 1;
@@ -141,7 +118,7 @@ TEST(ParallelAnneal, MoreRestartsNeverWorsenTheSchedule) {
   Fixture fx;
   const sched::Scheduler scheduler(fx.graph, fx.platform);
   sched::SchedOptions options;
-  options.policy = sched::Policy::Annealed;
+  options.policy = "annealed";
   options.saIterations = 400;
 
   options.saRestarts = 1;

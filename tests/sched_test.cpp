@@ -1,6 +1,7 @@
 // Unit tests for the scheduling/mapping policies.
 #include <gtest/gtest.h>
 
+#include "diamond_fixture.h"
 #include "htg/htg.h"
 #include "ir/builder.h"
 #include "sched/scheduler.h"
@@ -12,35 +13,7 @@ namespace {
 using ir::ScalarKind;
 using ir::Type;
 using ir::VarRole;
-
-/// Diamond: source -> {left, right} -> sink over shared arrays.
-std::unique_ptr<ir::Function> makeDiamondFn(int width = 16) {
-  auto fn = std::make_unique<ir::Function>("diamond");
-  fn->declare("u", Type::array(ScalarKind::Float64, {width}), VarRole::Input);
-  fn->declare("a", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
-  fn->declare("l", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
-  fn->declare("r", Type::array(ScalarKind::Float64, {width}), VarRole::Temp);
-  fn->declare("y", Type::array(ScalarKind::Float64, {width}),
-              VarRole::Output);
-  auto loop = [&](const char* out, const char* in, double k,
-                  const char* var) {
-    auto body = ir::block();
-    body->append(ir::assign(
-        ir::ref(out, ir::exprVec(ir::var(var))),
-        ir::mul(ir::ref(in, ir::exprVec(ir::var(var))), ir::flt(k))));
-    return ir::forLoop(var, 0, width, std::move(body));
-  };
-  fn->body().append(loop("a", "u", 2.0, "i0"));
-  fn->body().append(loop("l", "a", 3.0, "i1"));
-  fn->body().append(loop("r", "a", 5.0, "i2"));
-  auto body = ir::block();
-  body->append(ir::assign(
-      ir::ref("y", ir::exprVec(ir::var("i3"))),
-      ir::add(ir::ref("l", ir::exprVec(ir::var("i3"))),
-              ir::ref("r", ir::exprVec(ir::var("i3"))))));
-  fn->body().append(ir::forLoop("i3", 0, width, std::move(body)));
-  return fn;
-}
+using test::makeDiamondFn;
 
 struct Fixture {
   std::unique_ptr<ir::Function> fn;
@@ -127,9 +100,9 @@ TEST(ContentionOblivious, IgnoresInterference) {
   Fixture fx(/*chunks=*/4);
   Scheduler scheduler(fx.graph, fx.platform);
   SchedOptions aware;
-  aware.policy = Policy::Heft;
+  aware.policy = "heft";
   SchedOptions oblivious;
-  oblivious.policy = Policy::ContentionOblivious;
+  oblivious.policy = "contention_oblivious";
   const Schedule a = scheduler.run(aware);
   const Schedule b = scheduler.run(oblivious);
   EXPECT_EQ(b.policy, "contention_oblivious");
@@ -148,7 +121,7 @@ TEST(BnB, OptimalOnSmallGraphs) {
   heftOpt.interferenceAware = false;
   const Schedule heft = scheduler.run(heftOpt);
   SchedOptions bnbOpt;
-  bnbOpt.policy = Policy::BranchAndBound;
+  bnbOpt.policy = "branch_and_bound";
   bnbOpt.interferenceAware = false;
   const Schedule bnb = scheduler.run(bnbOpt);
   EXPECT_TRUE(validateSchedule(bnb, fx.graph, fx.platform,
@@ -161,7 +134,7 @@ TEST(BnB, FallsBackOnLargeGraphs) {
   Fixture fx(/*chunks=*/8);  // > bnbTaskLimit tasks
   Scheduler scheduler(fx.graph, fx.platform);
   SchedOptions options;
-  options.policy = Policy::BranchAndBound;
+  options.policy = "branch_and_bound";
   options.bnbTaskLimit = 10;
   const Schedule schedule = scheduler.run(options);
   EXPECT_NE(schedule.policy.find("fallback"), std::string::npos);
@@ -175,7 +148,7 @@ TEST(Annealed, NeverWorseThanSeedAndValid) {
   SchedOptions heftOpt;
   const Schedule heft = scheduler.run(heftOpt);
   SchedOptions saOpt;
-  saOpt.policy = Policy::Annealed;
+  saOpt.policy = "annealed";
   saOpt.saIterations = 300;
   const Schedule sa = scheduler.run(saOpt);
   EXPECT_LE(sa.makespan, heft.makespan);
@@ -187,7 +160,7 @@ TEST(Annealed, DeterministicForSeed) {
   Fixture fx(/*chunks=*/4);
   Scheduler scheduler(fx.graph, fx.platform);
   SchedOptions options;
-  options.policy = Policy::Annealed;
+  options.policy = "annealed";
   options.saIterations = 200;
   options.seed = 42;
   const Schedule a = scheduler.run(options);

@@ -14,7 +14,8 @@
 //   --cores N           core count / mesh size           (default 8)
 //   --adl FILE          load the platform from an ADL file (overrides
 //                       --platform/--cores)
-//   --policy NAME       heft | bnb | annealed | oblivious (default heft)
+//   --policy NAME       heft | bnb | annealed | oblivious, or any name in
+//                       the scheduling-policy registry (default heft)
 //   --chunks N          fix the granularity (default: feedback explores)
 //   --no-spm            disable scratchpad allocation
 //   --no-transforms     disable the transformation passes
@@ -140,12 +141,14 @@ void setAppInputs(const std::string& app, ir::Environment& env,
   }
 }
 
-sched::Policy parsePolicy(const std::string& name) {
-  if (name == "heft") return sched::Policy::Heft;
-  if (name == "bnb") return sched::Policy::BranchAndBound;
-  if (name == "annealed") return sched::Policy::Annealed;
-  if (name == "oblivious") return sched::Policy::ContentionOblivious;
-  throw support::ToolchainError("unknown policy '" + name + "'");
+std::string parsePolicy(const std::string& name) {
+  // Short CLI aliases for the built-ins; anything else is passed through
+  // to the policy registry verbatim, so custom registered policies are
+  // selectable without touching the driver. Unknown names fail inside
+  // sched::policyOrThrow with the list of registered policies.
+  if (name == "bnb") return "branch_and_bound";
+  if (name == "oblivious") return "contention_oblivious";
+  return name;
 }
 
 }  // namespace
@@ -158,7 +161,7 @@ int main(int argc, char** argv) {
     core::ToolchainOptions toolchainOptions;
     toolchainOptions.sched.policy = parsePolicy(options.policy);
     toolchainOptions.sched.interferenceAware =
-        toolchainOptions.sched.policy != sched::Policy::ContentionOblivious;
+        toolchainOptions.sched.policy != "contention_oblivious";
     toolchainOptions.spmAllocation = options.spm;
     toolchainOptions.runTransforms = options.transforms;
     if (options.chunks > 0) {
