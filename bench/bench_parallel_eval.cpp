@@ -1,0 +1,60 @@
+// Infrastructure bench: sequential vs. pooled scenario batch evaluation
+// (scenarios::runEval, the engine behind tools/argo_eval). Times both
+// paths over a small scenario x policy matrix and verifies the rendered
+// JSON report is byte-identical — the per-unit slots plus ladder-order
+// assembly make the batch independent of how units interleave.
+// `--json` emits the same rows as one machine-readable JSON document.
+#include <chrono>
+#include <thread>
+
+#include "common.h"
+#include "sched/policy.h"
+#include "scenarios/eval.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool json = argo::bench::jsonRequested(argc, argv);
+  argo::bench::ParallelBenchReport report("bench_parallel_eval", "units",
+                                          json);
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  argo::scenarios::EvalOptions options;
+  options.generator.seed = 7;
+  options.scenarioCount = 8;
+  options.simTrials = 1;
+
+  if (!json) {
+    argo::bench::printHeader(
+        "bench_parallel_eval: pooled scenario batch evaluation",
+        "independent (scenario x policy) units run concurrently, "
+        "byte-identical JSON report");
+    std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
+  }
+
+  const std::size_t units =
+      static_cast<std::size_t>(options.scenarioCount) *
+      argo::sched::registeredPolicyNames().size();
+
+  options.threads = 1;
+  auto begin = Clock::now();
+  const std::string sequential =
+      argo::scenarios::runEval(options).toJson();
+  const double seqMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - begin).count();
+
+  options.threads = 0;  // one worker per hardware thread
+  begin = Clock::now();
+  const std::string pooled = argo::scenarios::runEval(options).toJson();
+  const double pooledMs =
+      std::chrono::duration<double, std::milli>(Clock::now() - begin).count();
+
+  report.addRow(argo::bench::ParallelBenchRow{
+      "matrix", "eval", units, seqMs, pooledMs, sequential == pooled});
+  return report.finish();
+}

@@ -191,6 +191,20 @@ Platform Platform::withCoreCount(int n) const {
                   sharedMemBytes_);
 }
 
+Platform Platform::withSpmBytes(std::int64_t bytes) const {
+  if (bytes <= 0) {
+    throw ToolchainError("withSpmBytes: invalid scratchpad size " +
+                         std::to_string(bytes));
+  }
+  std::vector<Tile> tiles = tiles_;
+  for (Tile& tile : tiles) tile.core.spmBytes = bytes;
+  const std::string name = name_ + "_spm" + std::to_string(bytes);
+  if (isBus()) {
+    return Platform(name, std::move(tiles), bus(), sharedMemBytes_);
+  }
+  return Platform(name, std::move(tiles), noc(), sharedMemBytes_);
+}
+
 Platform makeRecoreXentiumBus(int cores, Arbitration arb) {
   std::vector<Tile> tiles;
   tiles.reserve(static_cast<std::size_t>(cores));

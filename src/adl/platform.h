@@ -38,12 +38,16 @@ using Cycles = std::int64_t;
 /// A time-predictable processor core: fixed per-class operation costs plus
 /// scratchpad and local (register/stack) access costs.
 struct CoreModel {
+  /// Human-readable core kind (default "generic"); reports only.
   std::string name = "generic";
-  /// Cycle cost per ir::OpClass, indexed by static_cast<size_t>(OpClass).
+  /// Cycle cost per ir::OpClass, indexed by static_cast<size_t>(OpClass)
+  /// (cycles per operation, default all 0 — factories fill it in).
   std::array<int, ir::kOpClassCount> opCycles{};
-  int localAccessCycles = 1;  ///< Register/stack access.
-  int spmAccessCycles = 2;    ///< Core-private scratchpad access.
-  std::int64_t spmBytes = 16 * 1024;  ///< Scratchpad capacity.
+  int localAccessCycles = 1;  ///< Register/stack access (cycles, default 1).
+  int spmAccessCycles = 2;    ///< Core-private scratchpad access (cycles,
+                              ///< default 2).
+  std::int64_t spmBytes = 16 * 1024;  ///< Scratchpad capacity (bytes,
+                                      ///< default 16 KiB).
 
   [[nodiscard]] int cyclesFor(ir::OpClass op) const noexcept {
     return opCycles[static_cast<std::size_t>(op)];
@@ -67,10 +71,15 @@ enum class Arbitration : std::uint8_t {
 
 /// A single shared bus to shared memory.
 struct BusModel {
+  /// Arbitration policy (default RoundRobin; Tdma trades average latency
+  /// for contender-independent worst cases).
   Arbitration arbitration = Arbitration::RoundRobin;
-  int baseAccessCycles = 10;  ///< Uncontended shared-memory access.
-  int slotCycles = 12;        ///< TDMA slot length (>= baseAccessCycles).
-  int wordBytes = 4;          ///< Bytes moved per bus access.
+  int baseAccessCycles = 10;  ///< Uncontended shared-memory access
+                              ///< (cycles, default 10).
+  int slotCycles = 12;        ///< TDMA slot length, must be
+                              ///< >= baseAccessCycles (cycles, default 12).
+  int wordBytes = 4;          ///< Payload moved per bus access (bytes,
+                              ///< default 4).
 
   /// Worst-case cycles for ONE shared access issued by a core when at most
   /// `contenders` cores (including the issuer) may access the bus
@@ -88,13 +97,16 @@ struct BusModel {
 /// A 2D-mesh network-on-chip with weighted-round-robin QoS routers
 /// (modelled on the invasive NoC, paper ref [12]).
 struct NocModel {
-  int meshWidth = 4;
-  int meshHeight = 4;
-  int routerCycles = 3;     ///< Per-hop router traversal.
-  int linkCycles = 1;       ///< Per-flit per-hop link traversal.
-  int flitBytes = 4;        ///< Payload bytes per flit.
-  int memAccessCycles = 16; ///< Service time at the memory controller.
-  int memTile = 0;          ///< Tile index hosting the memory controller.
+  int meshWidth = 4;        ///< Mesh columns (tiles, default 4).
+  int meshHeight = 4;       ///< Mesh rows (tiles, default 4).
+  int routerCycles = 3;     ///< Per-hop router traversal (cycles, default 3).
+  int linkCycles = 1;       ///< Per-flit per-hop link traversal (cycles,
+                            ///< default 1).
+  int flitBytes = 4;        ///< Payload per flit (bytes, default 4).
+  int memAccessCycles = 16; ///< Service time at the memory controller
+                            ///< (cycles, default 16).
+  int memTile = 0;          ///< Tile index hosting the memory controller
+                            ///< (index, default 0).
 
   /// XY-routing hop count between two tiles (tile = y*width + x).
   [[nodiscard]] int hopDistance(int tileA, int tileB) const noexcept;
@@ -172,6 +184,11 @@ class Platform {
   /// Returns a new platform restricted to the first `n` tiles (used by the
   /// core-count sweeps in the benchmark harness).
   [[nodiscard]] Platform withCoreCount(int n) const;
+
+  /// Returns a new platform with every tile's scratchpad capacity set to
+  /// `bytes` (used by the SPM-size sweeps in scenarios/sweep.h). Cores,
+  /// interconnect and shared memory are unchanged.
+  [[nodiscard]] Platform withSpmBytes(std::int64_t bytes) const;
 
  private:
   std::string name_;

@@ -30,15 +30,25 @@ using adl::Cycles;
 
 /// Driver configuration.
 struct ToolchainOptions {
+  /// Scheduling options forwarded to every candidate evaluation,
+  /// including the policy registry name (sched/options.h).
   sched::SchedOptions sched;
-  /// Candidate chunks-per-loop values explored by the feedback loop. When
-  /// empty, a default ladder {1, 2, ..., 2*cores} is used.
+  /// Candidate chunks-per-loop values explored by the feedback loop
+  /// (counts, default empty = the power-of-two ladder {1, 2, ...,
+  /// 2*cores}).
   std::vector<int> chunkCandidates;
+  /// Run the predictability transforms — constant folding, index-set
+  /// splitting, loop fusion (default true).
   bool runTransforms = true;
+  /// Run the scratchpad allocation pass (default true).
   bool spmAllocation = true;
-  /// Merge consecutive loop-free HTG nodes into one task (removes the
-  /// synchronization overhead of scalar glue code; see htg::ExpandOptions).
+  /// Merge consecutive loop-free HTG nodes into one task (default true;
+  /// removes the synchronization overhead of scalar glue code — see
+  /// htg::ExpandOptions).
   bool mergeScalarChains = true;
+  /// Interference accounting for the system-level analysis (default
+  /// MhpRefined, the ARGO approach; AllContenders is the pessimistic
+  /// baseline).
   syswcet::InterferenceMethod interference =
       syswcet::InterferenceMethod::MhpRefined;
   /// Worker threads for the cross-layer feedback exploration: each

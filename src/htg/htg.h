@@ -109,14 +109,17 @@ struct TaskGraph {
 
 /// Expansion options.
 struct ExpandOptions {
-  /// Number of chunks each parallelizable loop is split into (clamped to
-  /// the trip count). 1 disables loop-level parallelism.
+  /// Number of chunks each parallelizable loop is split into, clamped to
+  /// the trip count (count, default 4). 1 disables loop-level parallelism;
+  /// this is the paper's "very fine grain task decomposition" knob, and
+  /// the axis the cross-layer feedback loop explores.
   int chunksPerLoop = 4;
   /// Merge runs of consecutive loop-free HTG nodes (scalar "glue" code)
-  /// into one task each. Consecutive program-order nodes can always be
-  /// merged without creating cycles (no third node can sit between them),
-  /// and fusing scalar glue removes synchronization overhead that would
-  /// otherwise dominate tiny tasks.
+  /// into one task each (default false; core::Toolchain turns it on).
+  /// Consecutive program-order nodes can always be merged without
+  /// creating cycles (no third node can sit between them), and fusing
+  /// scalar glue removes synchronization overhead that would otherwise
+  /// dominate tiny tasks.
   bool mergeScalarChains = false;
 };
 

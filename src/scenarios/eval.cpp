@@ -1,0 +1,280 @@
+#include "scenarios/eval.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "sched/policy.h"
+#include "sim/simulator.h"
+#include "support/diagnostics.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+
+namespace argo::scenarios {
+
+namespace {
+
+using support::ToolchainError;
+
+/// Fills every Input-role variable of `env` with uniform values in
+/// [-1, 1), drawn from a stream seeded by (scenario seed, trial). Input
+/// order follows the declaration order, so the stream is reproducible.
+void setRandomInputs(const ir::Function& fn, ir::Environment& env,
+                     std::uint64_t seed) {
+  support::Rng rng(seed);
+  for (const ir::VarDecl& decl : fn.decls()) {
+    if (decl.role != ir::VarRole::Input) continue;
+    ir::Value& value = env[decl.name];
+    for (std::int64_t i = 0; i < value.size(); ++i) {
+      value.setFloat(i, rng.uniformDouble() * 2.0 - 1.0);
+    }
+  }
+}
+
+/// One (scenario, policy) unit: full tool-chain run plus simulator check.
+PolicyOutcome runUnit(const Scenario& scenario, const adl::Platform& platform,
+                      const std::string& policy, const EvalOptions& options) {
+  const auto begin = std::chrono::steady_clock::now();
+
+  core::ToolchainOptions toolchainOptions = options.toolchain;
+  toolchainOptions.sched.policy = policy;
+  toolchainOptions.sched.interferenceAware = policy != "contention_oblivious";
+  // The batch owns the pool; everything inside a unit stays inline.
+  toolchainOptions.explorationThreads = 1;
+  toolchainOptions.sched.parallelThreads = 1;
+
+  const core::Toolchain toolchain(platform, toolchainOptions);
+  const core::ToolchainResult result = toolchain.run(scenario.model);
+
+  PolicyOutcome outcome;
+  outcome.policy = policy;
+  outcome.scheduleLabel = result.schedule.policy;
+  outcome.tasks = static_cast<int>(result.graph->tasks.size());
+  outcome.tilesUsed = result.schedule.tilesUsed;
+  outcome.chosenChunks = result.chosenChunks;
+  outcome.sequentialWcet = result.sequentialWcet;
+  outcome.bound = result.system.makespan;
+
+  if (options.simTrials > 0) {
+    const sim::Simulator simulator(result.program, platform);
+    ir::Environment base = ir::makeZeroEnvironment(*result.fn);
+    for (const auto& [name, value] : result.constants) base[name] = value;
+    for (int trial = 0; trial < options.simTrials; ++trial) {
+      ir::Environment env = base;
+      setRandomInputs(*result.fn, env,
+                      scenario.seed + static_cast<std::uint64_t>(trial));
+      const Cycles makespan = simulator.step(env).makespan;
+      if (makespan > outcome.observed) outcome.observed = makespan;
+      outcome.simSafe = outcome.simSafe && makespan <= outcome.bound;
+    }
+  }
+
+  const auto end = std::chrono::steady_clock::now();
+  outcome.wallMs =
+      std::chrono::duration<double, std::milli>(end - begin).count();
+  return outcome;
+}
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  if (needed > 0) {
+    const std::size_t at = out.size();
+    out.resize(at + static_cast<std::size_t>(needed) + 1);
+    std::vsnprintf(out.data() + at, static_cast<std::size_t>(needed) + 1, fmt,
+                   args);
+    out.resize(at + static_cast<std::size_t>(needed));
+  }
+  va_end(args);
+}
+
+/// Minimal JSON string escaping (names are generated, but a custom policy
+/// name could contain anything).
+std::string jsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+core::ToolchainOptions defaultEvalToolchainOptions() {
+  core::ToolchainOptions options;
+  options.chunkCandidates = {1, 2, 4};
+  options.sched.saIterations = 1200;
+  // The exact search dominates batch wall time with the stock 2M-node
+  // budget; 100k nodes still finds the optimum on most generated graphs
+  // and exhaustion is deterministic (labelled "(budget)").
+  options.sched.bnbNodeBudget = 100'000;
+  options.explorationThreads = 1;
+  return options;
+}
+
+EvalReport runEval(const EvalOptions& options) {
+  if (options.scenarioCount <= 0) {
+    throw ToolchainError("runEval: scenarioCount must be positive");
+  }
+  if (options.simTrials < 0) {
+    throw ToolchainError("runEval: simTrials must be >= 0");
+  }
+
+  EvalReport report;
+  report.seed = options.generator.seed;
+  report.policies = options.policies.empty() ? sched::registeredPolicyNames()
+                                             : options.policies;
+  // Fail on unknown names before spending any tool-chain time.
+  for (const std::string& policy : report.policies) {
+    (void)sched::policyOrThrow(policy);
+  }
+
+  const std::vector<PlatformCase> sweep = buildPlatformSweep(options.sweep);
+  const std::size_t policyCount = report.policies.size();
+  const std::size_t units =
+      static_cast<std::size_t>(options.scenarioCount) * policyCount;
+
+  // Pooled phase: every (scenario, policy) unit writes its own slot. Units
+  // regenerate their scenario locally — generation is cheap and keeps the
+  // units free of shared mutable state; the sweep and options are
+  // read-only.
+  std::vector<PolicyOutcome> slots(units);
+  support::parallelFor(units, options.threads, [&](std::size_t unit) {
+    const int scenarioIndex = static_cast<int>(unit / policyCount);
+    const std::string& policy = report.policies[unit % policyCount];
+    const Scenario scenario =
+        generateScenario(options.generator, scenarioIndex);
+    const PlatformCase& platformCase =
+        sweep[static_cast<std::size_t>(scenarioIndex) % sweep.size()];
+    slots[unit] = runUnit(scenario, platformCase.platform, policy, options);
+  });
+
+  // Ladder-order assembly: strictly in unit order, strict < for the
+  // winner, so the report is identical however the units were executed.
+  report.scenarios.reserve(static_cast<std::size_t>(options.scenarioCount));
+  for (int s = 0; s < options.scenarioCount; ++s) {
+    // Regenerate the metadata only (cheap) — the outcomes are in slots.
+    const Scenario scenario = generateScenario(options.generator, s);
+    const PlatformCase& platformCase =
+        sweep[static_cast<std::size_t>(s) % sweep.size()];
+    ScenarioResult row;
+    row.scenario = scenario.name;
+    row.seed = scenario.seed;
+    row.layers = scenario.layers;
+    row.nodes = scenario.nodes;
+    row.arrayLen = scenario.arrayLen;
+    row.platformCase = platformCase.name;
+    row.cores = platformCase.platform.coreCount();
+    Cycles bestBound = 0;
+    for (std::size_t p = 0; p < policyCount; ++p) {
+      PolicyOutcome outcome =
+          std::move(slots[static_cast<std::size_t>(s) * policyCount + p]);
+      report.allSimSafe = report.allSimSafe && outcome.simSafe;
+      if (row.winner.empty() || outcome.bound < bestBound) {
+        row.winner = outcome.policy;
+        bestBound = outcome.bound;
+      }
+      row.outcomes.push_back(std::move(outcome));
+    }
+    report.scenarios.push_back(std::move(row));
+  }
+  return report;
+}
+
+std::string EvalReport::toJson(bool includeTimings) const {
+  std::string out;
+  out.reserve(4096);
+  appendf(out, "{\"bench\":\"argo_eval\",\"seed\":%" PRIu64
+               ",\"scenario_count\":%zu,\"policies\":[",
+          seed, scenarios.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    appendf(out, "%s\"%s\"", p == 0 ? "" : ",",
+            jsonEscape(policies[p]).c_str());
+  }
+  out += "],\"rows\":[";
+
+  struct Aggregate {
+    int wins = 0;
+    int rows = 0;
+    double tightnessSum = 0.0;
+    double speedupSum = 0.0;
+    double wallMsSum = 0.0;
+  };
+  std::map<std::string, Aggregate> aggregates;
+  double totalWallMs = 0.0;
+
+  bool firstRow = true;
+  for (const ScenarioResult& row : scenarios) {
+    for (const PolicyOutcome& o : row.outcomes) {
+      appendf(out, "%s{\"scenario\":\"%s\",\"seed\":%" PRIu64
+                   ",\"platform\":\"%s\",\"cores\":%d,\"layers\":%d,"
+                   "\"nodes\":%d,\"array_len\":%d",
+              firstRow ? "" : ",", jsonEscape(row.scenario).c_str(), row.seed,
+              jsonEscape(row.platformCase).c_str(), row.cores, row.layers,
+              row.nodes, row.arrayLen);
+      firstRow = false;
+      appendf(out, ",\"policy\":\"%s\",\"schedule\":\"%s\",\"tasks\":%d,"
+                   "\"tiles_used\":%d,\"chunks\":%d",
+              jsonEscape(o.policy).c_str(),
+              jsonEscape(o.scheduleLabel).c_str(), o.tasks, o.tilesUsed,
+              o.chosenChunks);
+      appendf(out, ",\"sequential_wcet\":%lld,\"bound\":%lld,"
+                   "\"observed\":%lld,\"sim_safe\":%s,\"tightness\":%.6f,"
+                   "\"bound_speedup\":%.6f,\"winner\":%s",
+              static_cast<long long>(o.sequentialWcet),
+              static_cast<long long>(o.bound),
+              static_cast<long long>(o.observed), o.simSafe ? "true" : "false",
+              o.tightness(), o.boundSpeedup(),
+              o.policy == row.winner ? "true" : "false");
+      if (includeTimings) appendf(out, ",\"wall_ms\":%.3f", o.wallMs);
+      out += "}";
+
+      Aggregate& agg = aggregates[o.policy];
+      agg.rows += 1;
+      agg.wins += o.policy == row.winner ? 1 : 0;
+      agg.tightnessSum += o.tightness();
+      agg.speedupSum += o.boundSpeedup();
+      agg.wallMsSum += o.wallMs;
+      totalWallMs += o.wallMs;
+    }
+  }
+
+  out += "],\"summary\":{\"per_policy\":[";
+  // Emit in request order (aggregates is keyed by name; request order is
+  // the stable, documented order).
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    const Aggregate& agg = aggregates[policies[p]];
+    appendf(out, "%s{\"policy\":\"%s\",\"wins\":%d,\"mean_tightness\":%.6f,"
+                 "\"mean_bound_speedup\":%.6f",
+            p == 0 ? "" : ",", jsonEscape(policies[p]).c_str(), agg.wins,
+            agg.rows > 0 ? agg.tightnessSum / agg.rows : 0.0,
+            agg.rows > 0 ? agg.speedupSum / agg.rows : 0.0);
+    if (includeTimings) appendf(out, ",\"wall_ms\":%.3f", agg.wallMsSum);
+    out += "}";
+  }
+  appendf(out, "],\"all_sim_safe\":%s", allSimSafe ? "true" : "false");
+  if (includeTimings) appendf(out, ",\"total_wall_ms\":%.3f", totalWallMs);
+  out += "}}";
+  return out;
+}
+
+}  // namespace argo::scenarios

@@ -1,0 +1,135 @@
+// Batch policy evaluation over a generated scenario matrix.
+//
+// runEval() crosses the workload generator (scenarios/generator.h) with a
+// platform sweep (scenarios/sweep.h) and runs *every requested scheduling
+// policy* on every scenario through the full tool-chain — cross-layer
+// feedback exploration, system-level WCET bound, and a simulator check
+// that the observed makespan stays within the bound. This is the standing
+// source of the repo's perf trajectory: tools/argo_eval drives it from the
+// CLI and CI uploads its JSON report per PR.
+//
+// Parallelism and determinism: the (scenario x policy) units are
+// independent, so the batch runs through the shared support::parallelFor
+// layer. Each unit regenerates its scenario from the seed (self-contained,
+// no shared mutable state), writes its outcome into its own slot, and the
+// report is assembled strictly in unit order afterwards — so the report is
+// bit-identical for any thread count (the ladder-order rule of
+// docs/ARCHITECTURE.md). toJson() uses fixed formatting; byte-identical
+// values make byte-identical documents, which CI checks by diffing a
+// --threads 1 run against a --threads 8 run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/toolchain.h"
+#include "scenarios/generator.h"
+#include "scenarios/sweep.h"
+
+namespace argo::scenarios {
+
+using adl::Cycles;
+
+/// Tool-chain configuration trimmed for batch runs: a short granularity
+/// ladder ({1, 2, 4}), fewer annealing iterations (1200) and a 100k
+/// branch-and-bound node budget keep a 50-scenario matrix in CI-friendly
+/// time; everything else is the Toolchain default. The returned value is
+/// the EvalOptions::toolchain default — override fields freely.
+[[nodiscard]] core::ToolchainOptions defaultEvalToolchainOptions();
+
+/// Configuration of one batch run.
+struct EvalOptions {
+  /// Workload axis (the generator's seed is the batch seed).
+  GeneratorOptions generator;
+  /// Platform axis. Scenario i runs on sweep case i % caseCount, so every
+  /// case is exercised without crossing the whole matrix.
+  SweepOptions sweep;
+  /// Number of generated scenarios (count, default 20).
+  int scenarioCount = 20;
+  /// Registry names of the policies to compare (default: empty = every
+  /// registered policy, in sorted registry order).
+  std::vector<std::string> policies;
+  /// Worker threads for the batch itself, support::parallelFor convention
+  /// (0 = hardware threads, 1 = sequential; default 1). The report is
+  /// bit-identical for any value.
+  int threads = 1;
+  /// Simulator probes per (scenario, policy) run, each from an
+  /// independently seeded random input (count, default 3; 0 skips the
+  /// simulator check entirely — observed/tightness read as 0).
+  int simTrials = 3;
+  /// Base tool-chain configuration for every unit. The batch overrides,
+  /// per unit: the policy under test, interferenceAware (off for
+  /// "contention_oblivious", mirroring argo_cc), and both thread knobs to
+  /// 1 (the batch owns the pool; pools do not nest).
+  core::ToolchainOptions toolchain = defaultEvalToolchainOptions();
+};
+
+/// Result of one (scenario, policy) unit.
+struct PolicyOutcome {
+  std::string policy;         ///< Requested registry name.
+  std::string scheduleLabel;  ///< Schedule::policy — reveals fallbacks.
+  int tasks = 0;              ///< Task count of the chosen candidate.
+  int tilesUsed = 0;
+  int chosenChunks = 0;       ///< Granularity the feedback loop picked.
+  Cycles sequentialWcet = 0;  ///< Single-core reference bound.
+  Cycles bound = 0;           ///< System-level WCET (the guarantee).
+  Cycles observed = 0;        ///< Worst simulated makespan (0 if skipped).
+  bool simSafe = true;        ///< observed <= bound for every trial.
+  double wallMs = 0.0;        ///< Unit wall time (excluded from the JSON
+                              ///< unless includeTimings — it is the one
+                              ///< thread-count-dependent field).
+
+  /// observed / bound in [0, 1]: how tight the guarantee is (0 when the
+  /// simulator check was skipped).
+  [[nodiscard]] double tightness() const {
+    return bound == 0 ? 0.0
+                      : static_cast<double>(observed) /
+                            static_cast<double>(bound);
+  }
+  /// sequentialWcet / bound: the guaranteed speedup of the parallel bound
+  /// over the single-core bound.
+  [[nodiscard]] double boundSpeedup() const {
+    return bound == 0 ? 0.0
+                      : static_cast<double>(sequentialWcet) /
+                            static_cast<double>(bound);
+  }
+};
+
+/// All policies' outcomes on one scenario.
+struct ScenarioResult {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  int layers = 0;
+  int nodes = 0;
+  int arrayLen = 0;
+  std::string platformCase;  ///< Sweep case name the scenario ran on.
+  int cores = 0;             ///< Tile count of that case.
+  /// One outcome per requested policy, in request order.
+  std::vector<PolicyOutcome> outcomes;
+  /// Policy with the smallest bound (strict <, first in request order
+  /// wins ties) — the per-scenario "policy winner" of the report.
+  std::string winner;
+};
+
+/// The whole batch.
+struct EvalReport {
+  std::uint64_t seed = 0;
+  std::vector<std::string> policies;  ///< Resolved request order.
+  std::vector<ScenarioResult> scenarios;
+  bool allSimSafe = true;
+
+  /// Renders the machine-readable report: one JSON document in the
+  /// bench/common.h --json house style ({"bench":..., "rows":[...],
+  /// "summary":...}), one row per (scenario, policy) unit plus per-policy
+  /// aggregates. Deterministic: fixed field order and fixed float
+  /// formatting; byte-identical across thread counts. Wall-clock fields
+  /// appear only when `includeTimings` (they vary run to run).
+  [[nodiscard]] std::string toJson(bool includeTimings = false) const;
+};
+
+/// Runs the batch. Throws support::ToolchainError on an unknown policy
+/// name (listing the registered ones) or invalid generator/sweep options.
+[[nodiscard]] EvalReport runEval(const EvalOptions& options);
+
+}  // namespace argo::scenarios

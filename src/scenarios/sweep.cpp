@@ -1,0 +1,75 @@
+#include "scenarios/sweep.h"
+
+#include <utility>
+
+#include "support/diagnostics.h"
+
+namespace argo::scenarios {
+
+namespace {
+
+using support::ToolchainError;
+
+/// Smallest mesh (width, height) holding at least `cores` tiles, widest
+/// dimension first — the same rounding argo_cc applies to --platform noc.
+std::pair<int, int> meshFor(int cores) {
+  int width = 1;
+  while (width * width < cores) ++width;
+  const int height = (cores + width - 1) / width;
+  return {width, height};
+}
+
+}  // namespace
+
+std::vector<PlatformCase> buildPlatformSweep(const SweepOptions& options) {
+  if (!options.busRoundRobin && !options.busTdma && !options.noc) {
+    throw ToolchainError("platform sweep: no interconnect enabled");
+  }
+  if (options.coreCounts.empty()) {
+    throw ToolchainError("platform sweep: no core counts given");
+  }
+  for (int cores : options.coreCounts) {
+    if (cores <= 0) {
+      throw ToolchainError("platform sweep: core count must be positive");
+    }
+  }
+  for (std::int64_t bytes : options.spmBytes) {
+    if (bytes <= 0) {
+      throw ToolchainError("platform sweep: SPM size must be positive");
+    }
+  }
+
+  std::vector<PlatformCase> cases;
+  const std::vector<std::int64_t> spmSweep =
+      options.spmBytes.empty() ? std::vector<std::int64_t>{0}  // 0 = default
+                               : options.spmBytes;
+  for (int cores : options.coreCounts) {
+    // Interconnects in fixed order: bus_rr (0), bus_tdma (1), noc (2).
+    for (int which = 0; which < 3; ++which) {
+      const bool enabled = which == 0   ? options.busRoundRobin
+                           : which == 1 ? options.busTdma
+                                        : options.noc;
+      if (!enabled) continue;
+      for (std::int64_t spm : spmSweep) {
+        adl::Platform platform =
+            which == 0 ? adl::makeRecoreXentiumBus(cores)
+            : which == 1
+                ? adl::makeRecoreXentiumBus(cores, adl::Arbitration::Tdma)
+                : [&] {
+                    const auto [w, h] = meshFor(cores);
+                    return adl::makeKitLeon3Inoc(w, h);
+                  }();
+        if (spm > 0) platform = platform.withSpmBytes(spm);
+        const char* tag =
+            which == 0 ? "bus_rr" : which == 1 ? "bus_tdma" : "noc";
+        std::string name =
+            std::string(tag) + "_c" + std::to_string(cores) +
+            (spm > 0 ? "_spm" + std::to_string(spm) : std::string());
+        cases.push_back(PlatformCase{std::move(name), std::move(platform)});
+      }
+    }
+  }
+  return cases;
+}
+
+}  // namespace argo::scenarios

@@ -1,0 +1,57 @@
+// Platform sweeps: the hardware axis of the scenario matrix.
+//
+// The generator (scenarios/generator.h) varies the workload; this builder
+// varies the platform the same way the paper's evaluation does — Recore
+// Xentium tiles on a shared bus (round-robin or TDMA) against KIT Leon3
+// tiles on an iNoC-style mesh, at several tile counts and scratchpad
+// sizes. Every case is a full adl::Platform, so scheduling, system-level
+// WCET analysis and the simulator all price it consistently.
+//
+// The case list is a pure function of the options: cases are emitted in a
+// fixed nested order (core count, then interconnect, then SPM size) with
+// stable names, so batch reports keyed by case name are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adl/platform.h"
+
+namespace argo::scenarios {
+
+/// Knobs of the platform sweep. The sweep is the cross product of the
+/// enabled interconnects, the core counts, and the SPM sizes.
+struct SweepOptions {
+  /// Tile counts to sweep (count, default {2, 4, 8}). For NoC cases the
+  /// smallest mesh with at least this many tiles is used, so the actual
+  /// tile count may round up (e.g. 8 -> 3x3; the case name keeps the
+  /// requested count).
+  std::vector<int> coreCounts = {2, 4, 8};
+  /// Include Recore-like bus platforms with round-robin arbitration
+  /// (default true).
+  bool busRoundRobin = true;
+  /// Include Recore-like bus platforms with TDMA arbitration (default
+  /// true).
+  bool busTdma = true;
+  /// Include KIT-like Leon3 mesh-NoC platforms (default true).
+  bool noc = true;
+  /// Per-tile scratchpad sizes to sweep (bytes; empty, the default, keeps
+  /// each platform's built-in SPM size).
+  std::vector<std::int64_t> spmBytes;
+};
+
+/// One platform of the sweep.
+struct PlatformCase {
+  /// Stable case name, e.g. "bus_rr_c4", "bus_tdma_c8_spm4096", "noc_c8".
+  std::string name;
+  adl::Platform platform;
+};
+
+/// Builds the sweep described by `options`. Throws support::ToolchainError
+/// when the options describe an empty sweep (no interconnect enabled, no
+/// core counts) or contain a non-positive core count or SPM size.
+[[nodiscard]] std::vector<PlatformCase> buildPlatformSweep(
+    const SweepOptions& options);
+
+}  // namespace argo::scenarios

@@ -1,9 +1,9 @@
 // Options shared by every scheduling/mapping policy.
 //
-// The policy itself is selected by registry name (see sched/policy.h), so
-// the option set is the union of what the built-in policies consume; each
-// policy reads the fields it documents and ignores the rest. Custom
-// registered policies receive the same struct.
+// The policy itself is selected by registry name (see sched/policy.h and
+// docs/POLICY_AUTHORING.md), so the option set is the union of what the
+// built-in policies consume; each policy reads the fields it documents and
+// ignores the rest. Custom registered policies receive the same struct.
 #pragma once
 
 #include <cstdint>
@@ -12,43 +12,58 @@
 namespace argo::sched {
 
 struct SchedOptions {
-  /// Registry name of the policy to run (sched/policy.h). Built-ins:
-  /// "heft", "branch_and_bound", "annealed", "contention_oblivious".
-  /// Unknown names make Scheduler::run throw a ToolchainError that lists
-  /// the registered names.
+  /// Registry name of the policy to run (sched/policy.h; default "heft").
+  /// Built-ins: "heft", "branch_and_bound", "annealed",
+  /// "contention_oblivious". Unknown names make Scheduler::run throw a
+  /// ToolchainError that lists the registered names.
   std::string policy = "heft";
-  /// Include interference estimates in the scheduling objective.
+  /// Include interference estimates in the scheduling objective (default
+  /// true; the "contention_oblivious" baseline is selected by name, but
+  /// callers — argo_cc, argo_eval — also turn this off for it).
   bool interferenceAware = true;
-  /// Restrict scheduling to the first `coreLimit` tiles (<=0: all).
+  /// Restrict scheduling to the first `coreLimit` tiles (tiles, default
+  /// 0; <= 0 means all tiles). The feedback loop uses 1 for its
+  /// sequential-mapping fallback candidate.
   int coreLimit = 0;
-  /// Branch-and-bound: maximum tasks before falling back to HEFT (capped
-  /// further by kBnbMaxTasks, the bitmask width — see sched/bnb.h) and the
-  /// total search-node budget (frontier generation plus all subtrees).
+  /// Branch-and-bound: maximum graph size the exact search accepts before
+  /// falling back to HEFT (tasks, default 14; capped further by
+  /// kBnbMaxTasks, the bitmask width — see sched/bnb.h).
   int bnbTaskLimit = 14;
+  /// Branch-and-bound total search budget: frontier generation plus all
+  /// subtrees (search nodes, default 2'000'000). Exhaustion is
+  /// deterministic — the result is annotated "(budget)" and falls back to
+  /// the HEFT seed when nothing better was explored.
   std::int64_t bnbNodeBudget = 2'000'000;
   /// Depth (number of placed tasks) at which the branch-and-bound search
   /// splits into independent subtrees that run through the shared
-  /// support::parallelFor layer. 0 = classic monolithic DFS. The returned
-  /// schedule is bit-identical for every depth and thread count as long as
-  /// the node budget is not exhausted (proof in sched/bnb.cpp).
+  /// support::parallelFor layer (placed tasks, default 2; 0 = classic
+  /// monolithic DFS). The returned schedule is bit-identical for every
+  /// depth and thread count as long as the node budget is not exhausted
+  /// (proof in sched/bnb.cpp).
   int bnbFrontierDepth = 2;
-  /// Simulated annealing parameters.
+  /// Simulated-annealing chain length (iterations per chain, default
+  /// 4000).
   int saIterations = 4000;
-  double saInitialTemp = 0.20;  ///< Fraction of seed makespan.
+  /// Simulated-annealing initial temperature, as a fraction of the HEFT
+  /// seed makespan (dimensionless, default 0.20).
+  double saInitialTemp = 0.20;
+  /// Seed for every randomized policy; the only sanctioned randomness
+  /// source under the determinism contract (unitless, default 1).
   std::uint64_t seed = 1;
-  /// Independent annealing chains, all starting from the HEFT seed.
-  /// Chain r draws from its own Rng seeded with `seed + r`, so the set of
-  /// chains is fixed by the options alone; the best chain is selected by a
-  /// ladder-order reduction (strict `<`, lowest chain index wins ties),
-  /// making the result identical however the chains are executed. 1 = the
-  /// classic single chain.
+  /// Independent annealing chains, all starting from the HEFT seed
+  /// (chains, default 1 = the classic single chain). Chain r draws from
+  /// its own Rng seeded with `seed + r`, so the set of chains is fixed by
+  /// the options alone; the best chain is selected by a ladder-order
+  /// reduction (strict `<`, lowest chain index wins ties), making the
+  /// result identical however the chains are executed.
   int saRestarts = 1;
   /// Worker threads for every parallel phase the scheduler owns: the
   /// per-task timing analysis at Scheduler construction, annealing
-  /// restarts, and branch-and-bound subtrees. 0 = one per hardware thread,
-  /// 1 = sequential; results are bit-identical either way. Must be 1 when
-  /// the scheduler itself runs inside a pooled phase (core::Toolchain's
-  /// feedback exploration does this), since pools do not nest.
+  /// restarts, and branch-and-bound subtrees (threads, default 1 =
+  /// sequential; 0 = one per hardware thread). Results are bit-identical
+  /// either way. Must be 1 when the scheduler itself runs inside a pooled
+  /// phase (core::Toolchain's feedback exploration and scenarios::runEval
+  /// both do this), since pools do not nest.
   int parallelThreads = 1;
 };
 

@@ -1,0 +1,142 @@
+// Batch-evaluator suite: thread-count determinism of the argo_eval
+// report, the policy-matrix smoke check (every registered policy schedules
+// every generated scenario, no unexpected fallbacks), and the JSON shape.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sched/bnb.h"
+#include "sched/policy.h"
+#include "scenarios/eval.h"
+#include "support/diagnostics.h"
+
+namespace argo {
+namespace {
+
+/// A batch small enough for test time but wide enough to cross several
+/// platform cases and both fallback paths.
+scenarios::EvalOptions smallBatch() {
+  scenarios::EvalOptions options;
+  options.generator.seed = 7;
+  options.scenarioCount = 5;
+  options.simTrials = 1;
+  return options;
+}
+
+TEST(EvalDeterminism, ReportIsByteIdenticalAcrossThreadCounts) {
+  scenarios::EvalOptions options = smallBatch();
+  options.threads = 1;
+  const std::string sequential = scenarios::runEval(options).toJson();
+  for (int threads : {3, 8}) {
+    options.threads = threads;
+    EXPECT_EQ(scenarios::runEval(options).toJson(), sequential)
+        << "threads=" << threads;
+  }
+}
+
+TEST(EvalPolicyMatrix, EveryRegisteredPolicySchedulesEveryScenario) {
+  scenarios::EvalOptions options = smallBatch();
+  options.scenarioCount = 6;
+  const scenarios::EvalReport report = scenarios::runEval(options);
+
+  // All registered policies took part.
+  EXPECT_EQ(report.policies, sched::registeredPolicyNames());
+  ASSERT_EQ(report.scenarios.size(), 6u);
+  for (const scenarios::ScenarioResult& row : report.scenarios) {
+    ASSERT_EQ(row.outcomes.size(), report.policies.size());
+    adl::Cycles bestBound = 0;
+    std::string bestPolicy;
+    for (const scenarios::PolicyOutcome& outcome : row.outcomes) {
+      // Scheduled for real: tasks placed, a positive bound, and the
+      // simulator stayed within it.
+      EXPECT_GT(outcome.tasks, 0) << row.scenario << "/" << outcome.policy;
+      EXPECT_GT(outcome.bound, 0) << row.scenario << "/" << outcome.policy;
+      EXPECT_TRUE(outcome.simSafe) << row.scenario << "/" << outcome.policy;
+      // The schedule label must belong to the requested policy...
+      EXPECT_EQ(outcome.scheduleLabel.rfind(outcome.policy, 0), 0u)
+          << row.scenario << ": asked for " << outcome.policy << ", got "
+          << outcome.scheduleLabel;
+      // ...and the HEFT fallback may fire only where it is *expected*:
+      // graphs beyond the exact search's task cap.
+      if (outcome.scheduleLabel.find("fallback") != std::string::npos) {
+        EXPECT_FALSE(sched::bnbExactSearchFeasible(
+            static_cast<std::size_t>(outcome.tasks),
+            options.toolchain.sched))
+            << row.scenario << ": fell back at " << outcome.tasks
+            << " tasks, within the exact-search cap";
+      }
+      if (bestPolicy.empty() || outcome.bound < bestBound) {
+        bestPolicy = outcome.policy;
+        bestBound = outcome.bound;
+      }
+    }
+    EXPECT_EQ(row.winner, bestPolicy) << row.scenario;
+  }
+  EXPECT_TRUE(report.allSimSafe);
+}
+
+TEST(EvalReportJson, ShapeAndTimingsFlag) {
+  scenarios::EvalOptions options = smallBatch();
+  options.scenarioCount = 2;
+  options.policies = {"heft", "annealed"};
+  const scenarios::EvalReport report = scenarios::runEval(options);
+
+  const std::string json = report.toJson();
+  EXPECT_NE(json.find("\"bench\":\"argo_eval\""), std::string::npos);
+  EXPECT_NE(json.find("\"seed\":7"), std::string::npos);
+  // One row per (scenario, policy) unit.
+  std::size_t rows = 0;
+  for (std::size_t at = json.find("{\"scenario\":");
+       at != std::string::npos; at = json.find("{\"scenario\":", at + 1)) {
+    ++rows;
+  }
+  EXPECT_EQ(rows, 4u);
+  // Wall-clock fields only appear on request — they are the one part of
+  // the report that legitimately varies run to run.
+  EXPECT_EQ(json.find("wall_ms"), std::string::npos);
+  EXPECT_NE(report.toJson(true).find("wall_ms"), std::string::npos);
+  // Exactly one winner per scenario.
+  std::size_t winners = 0;
+  for (std::size_t at = json.find("\"winner\":true"); at != std::string::npos;
+       at = json.find("\"winner\":true", at + 1)) {
+    ++winners;
+  }
+  EXPECT_EQ(winners, 2u);
+}
+
+TEST(EvalOptionsValidation, UnknownPolicyAndBadCountsThrow) {
+  scenarios::EvalOptions unknown = smallBatch();
+  unknown.policies = {"does_not_exist"};
+  try {
+    (void)scenarios::runEval(unknown);
+    FAIL() << "expected ToolchainError";
+  } catch (const support::ToolchainError& error) {
+    // The error names the registered policies, like the CLI requires.
+    EXPECT_NE(std::string(error.what()).find("heft"), std::string::npos);
+  }
+
+  scenarios::EvalOptions empty = smallBatch();
+  empty.scenarioCount = 0;
+  EXPECT_THROW((void)scenarios::runEval(empty), support::ToolchainError);
+  scenarios::EvalOptions negativeTrials = smallBatch();
+  negativeTrials.simTrials = -1;
+  EXPECT_THROW((void)scenarios::runEval(negativeTrials),
+               support::ToolchainError);
+}
+
+TEST(EvalSimTrials, ZeroSkipsTheSimulatorCheck) {
+  scenarios::EvalOptions options = smallBatch();
+  options.scenarioCount = 1;
+  options.simTrials = 0;
+  options.policies = {"heft"};
+  const scenarios::EvalReport report = scenarios::runEval(options);
+  const scenarios::PolicyOutcome& outcome =
+      report.scenarios.front().outcomes.front();
+  EXPECT_EQ(outcome.observed, 0);
+  EXPECT_EQ(outcome.tightness(), 0.0);
+  EXPECT_TRUE(outcome.simSafe);
+  EXPECT_TRUE(report.allSimSafe);
+}
+
+}  // namespace
+}  // namespace argo

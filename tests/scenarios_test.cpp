@@ -1,0 +1,226 @@
+// Scenario-generator suite: the fixed-seed golden graph, determinism,
+// knob semantics, platform sweeps, and one end-to-end pipeline run.
+#include <gtest/gtest.h>
+
+#include "core/toolchain.h"
+#include "ir/printer.h"
+#include "scenarios/generator.h"
+#include "scenarios/sweep.h"
+#include "sim/simulator.h"
+#include "support/diagnostics.h"
+#include "wcet/analyzer.h"
+
+namespace argo {
+namespace {
+
+scenarios::GeneratorOptions goldenOptions() {
+  scenarios::GeneratorOptions options;
+  options.seed = 42;
+  options.minLayers = 2;
+  options.maxLayers = 2;
+  options.minWidth = 2;
+  options.maxWidth = 2;
+  options.minArrayLen = 8;
+  options.maxArrayLen = 8;
+  options.wcetSpread = 2.0;
+  return options;
+}
+
+// The golden graph: byte-for-byte what (goldenOptions, index 0) generates.
+// This is the determinism anchor of the whole subsystem — if this test
+// moves, every recorded BENCH_eval series breaks comparability, so treat a
+// diff here as a breaking change, not churn.
+constexpr const char* kGoldenIr = R"(function scn000 {
+  in f64[8] u0  // shared
+  in f64[8] u1  // shared
+  tmp f64[8] t1_0  // shared
+  tmp f64[8] t1_1  // shared
+  tmp f64 s2_0  // shared
+  tmp f64[8] t2_1  // shared
+  out f64[8] y  // shared
+
+  for (i1_0 = 0; i1_0 < 8; i1_0++) {
+    t1_0[i1_0] = (((((((u0[i1_0] * 1.14155) + -0.444317) * 1.23722) + -0.282439) * 1.11673) + -0.470594) * 1.30009);
+  }
+  for (i1_1 = 0; i1_1 < 8; i1_1++) {
+    t1_1[i1_1] = ((((((u0[i1_1] * 0.675768) + 0.246766) * 0.946468) + -0.155211) * 1.16485) + -0.0883011);
+  }
+  s2_0 = 0;
+  for (i2_0 = 0; i2_0 < 8; i2_0++) {
+    s2_0 = (s2_0 + ((t1_0[i2_0] + (u1[i2_0] * 0.901602)) + (u0[i2_0] * 1.3102)));
+  }
+  for (i2_1 = 0; i2_1 < 8; i2_1++) {
+    t2_1[i2_1] = (((((t1_1[i2_1] * 1.0167) + -0.47576) * 0.675762) + -0.152952) * 1.3291);
+  }
+  for (iy = 0; iy < 8; iy++) {
+    y[iy] = (s2_0 + t2_1[iy]);
+  }
+}
+)";
+
+TEST(ScenarioGenerator, GoldenGraphFixedSeed) {
+  const scenarios::Scenario scenario =
+      scenarios::generateScenario(goldenOptions(), 0);
+  EXPECT_EQ(scenario.name, "scn000");
+  EXPECT_EQ(scenario.seed, 2949826092126892291ULL);
+  EXPECT_EQ(scenario.layers, 2);
+  EXPECT_EQ(scenario.nodes, 5);  // 4 hidden nodes + sink
+  EXPECT_EQ(scenario.arrayLen, 8);
+  EXPECT_EQ(ir::toString(*scenario.model.fn), kGoldenIr);
+}
+
+TEST(ScenarioGenerator, GenerationIsDeterministic) {
+  const scenarios::GeneratorOptions options;  // defaults, seed 1
+  for (int index : {0, 3, 17}) {
+    const scenarios::Scenario a = scenarios::generateScenario(options, index);
+    const scenarios::Scenario b = scenarios::generateScenario(options, index);
+    EXPECT_EQ(ir::toString(*a.model.fn), ir::toString(*b.model.fn));
+    EXPECT_EQ(a.seed, b.seed);
+  }
+  // The batch helper is literally the per-index generator in a loop.
+  const auto batch = scenarios::generateScenarios(options, 3);
+  ASSERT_EQ(batch.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(ir::toString(*batch[static_cast<std::size_t>(i)].model.fn),
+              ir::toString(
+                  *scenarios::generateScenario(options, i).model.fn));
+  }
+}
+
+TEST(ScenarioGenerator, DistinctIndicesAndSeedsDiffer) {
+  scenarios::GeneratorOptions options;
+  const std::string base =
+      ir::toString(*scenarios::generateScenario(options, 0).model.fn);
+  EXPECT_NE(ir::toString(*scenarios::generateScenario(options, 1).model.fn),
+            base);
+  options.seed = 2;
+  EXPECT_NE(ir::toString(*scenarios::generateScenario(options, 0).model.fn),
+            base);
+}
+
+TEST(ScenarioGenerator, GeneratedFunctionsValidate) {
+  const scenarios::GeneratorOptions options;
+  for (int index = 0; index < 12; ++index) {
+    const scenarios::Scenario scenario =
+        scenarios::generateScenario(options, index);
+    EXPECT_TRUE(ir::validate(*scenario.model.fn).empty())
+        << scenario.name << ": "
+        << ir::validate(*scenario.model.fn).front();
+    EXPECT_GE(scenario.layers, options.minLayers);
+    EXPECT_LE(scenario.layers, options.maxLayers);
+    EXPECT_GE(scenario.arrayLen, options.minArrayLen);
+    EXPECT_LE(scenario.arrayLen, options.maxArrayLen);
+  }
+}
+
+TEST(ScenarioGenerator, CcrKnobScalesComputation) {
+  // Same seed: identical graph shape, but lower CCR (compute-bound) must
+  // produce strictly more work per element, hence a larger sequential
+  // WCET on the same platform.
+  scenarios::GeneratorOptions computeBound = goldenOptions();
+  computeBound.ccr = 0.25;
+  scenarios::GeneratorOptions commBound = goldenOptions();
+  commBound.ccr = 4.0;
+  const scenarios::Scenario heavy =
+      scenarios::generateScenario(computeBound, 0);
+  const scenarios::Scenario light = scenarios::generateScenario(commBound, 0);
+  EXPECT_EQ(heavy.layers, light.layers);
+  EXPECT_EQ(heavy.nodes, light.nodes);
+  EXPECT_EQ(heavy.arrayLen, light.arrayLen);
+
+  const adl::Platform platform = adl::makeRecoreXentiumBus(2);
+  const wcet::TimingModel model = wcet::TimingModel::forTile(platform, 0);
+  const adl::Cycles heavyWcet =
+      wcet::SchemaAnalyzer(*heavy.model.fn, model).analyzeFunction().cycles;
+  const adl::Cycles lightWcet =
+      wcet::SchemaAnalyzer(*light.model.fn, model).analyzeFunction().cycles;
+  EXPECT_GT(heavyWcet, lightWcet);
+}
+
+TEST(ScenarioGenerator, RejectsInvalidKnobs) {
+  scenarios::GeneratorOptions options;
+  options.ccr = 0.0;
+  EXPECT_THROW((void)scenarios::generateScenario(options, 0),
+               support::ToolchainError);
+  options = {};
+  options.wcetSpread = 0.5;
+  EXPECT_THROW((void)scenarios::generateScenario(options, 0),
+               support::ToolchainError);
+  options = {};
+  options.minLayers = 3;
+  options.maxLayers = 2;
+  EXPECT_THROW((void)scenarios::generateScenario(options, 0),
+               support::ToolchainError);
+  EXPECT_THROW((void)scenarios::generateScenario({}, -1),
+               support::ToolchainError);
+}
+
+TEST(PlatformSweep, BuildsTheDocumentedCaseGrid) {
+  const std::vector<scenarios::PlatformCase> cases =
+      scenarios::buildPlatformSweep({});
+  ASSERT_EQ(cases.size(), 9u);  // {2,4,8} x {bus_rr, bus_tdma, noc}
+  EXPECT_EQ(cases[0].name, "bus_rr_c2");
+  EXPECT_EQ(cases[1].name, "bus_tdma_c2");
+  EXPECT_EQ(cases[2].name, "noc_c2");
+  EXPECT_TRUE(cases[0].platform.isBus());
+  EXPECT_EQ(cases[0].platform.bus().arbitration, adl::Arbitration::RoundRobin);
+  EXPECT_EQ(cases[1].platform.bus().arbitration, adl::Arbitration::Tdma);
+  EXPECT_TRUE(cases[2].platform.isNoc());
+  EXPECT_EQ(cases[0].platform.coreCount(), 2);
+  // NoC rounds up to the smallest mesh holding the requested count.
+  EXPECT_EQ(cases[8].name, "noc_c8");
+  EXPECT_EQ(cases[8].platform.coreCount(), 9);  // 3x3
+}
+
+TEST(PlatformSweep, SpmSweepOverridesEveryTile) {
+  scenarios::SweepOptions options;
+  options.coreCounts = {2};
+  options.busTdma = false;
+  options.noc = false;
+  options.spmBytes = {4096, 16384};
+  const std::vector<scenarios::PlatformCase> cases =
+      scenarios::buildPlatformSweep(options);
+  ASSERT_EQ(cases.size(), 2u);
+  EXPECT_EQ(cases[0].name, "bus_rr_c2_spm4096");
+  EXPECT_EQ(cases[1].name, "bus_rr_c2_spm16384");
+  for (const adl::Tile& tile : cases[0].platform.tiles()) {
+    EXPECT_EQ(tile.core.spmBytes, 4096);
+  }
+}
+
+TEST(PlatformSweep, RejectsEmptyOrInvalidSweeps) {
+  scenarios::SweepOptions none;
+  none.busRoundRobin = none.busTdma = none.noc = false;
+  EXPECT_THROW((void)scenarios::buildPlatformSweep(none),
+               support::ToolchainError);
+  scenarios::SweepOptions badCores;
+  badCores.coreCounts = {0};
+  EXPECT_THROW((void)scenarios::buildPlatformSweep(badCores),
+               support::ToolchainError);
+  scenarios::SweepOptions badSpm;
+  badSpm.spmBytes = {-1};
+  EXPECT_THROW((void)scenarios::buildPlatformSweep(badSpm),
+               support::ToolchainError);
+}
+
+TEST(ScenarioPipeline, GeneratedScenarioRunsEndToEnd) {
+  // One generated workload through the full tool-chain, then the safety
+  // check the paper's claim rests on: observed makespan <= static bound.
+  const scenarios::Scenario scenario =
+      scenarios::generateScenario(goldenOptions(), 1);
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  core::ToolchainOptions options;
+  options.chunkCandidates = {1, 2};
+  const core::Toolchain toolchain(platform, options);
+  const core::ToolchainResult result = toolchain.run(scenario.model);
+  EXPECT_GT(result.system.makespan, 0);
+  EXPECT_FALSE(result.graph->tasks.empty());
+
+  const sim::Simulator simulator(result.program, platform);
+  ir::Environment env = ir::makeZeroEnvironment(*result.fn);
+  const sim::StepResult observed = simulator.step(env);
+  EXPECT_LE(observed.makespan, result.system.makespan);
+}
+
+}  // namespace
+}  // namespace argo

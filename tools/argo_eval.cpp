@@ -1,0 +1,166 @@
+// argo_eval — batch evaluation of the scheduling-policy registry over a
+// generated scenario matrix (src/scenarios). Prints one machine-readable
+// JSON report (per-scenario makespan bound, simulator-checked tightness,
+// policy winner) to stdout or --out.
+//
+// Determinism: the default output is byte-identical for any --threads
+// value (see docs/SCENARIOS.md); --timings adds wall-clock fields, which
+// are the one run-to-run varying part, for perf-trajectory recording.
+//
+//   argo_eval --seed 7 --scenarios 50 --threads 0 --timings > BENCH_eval.json
+//   argo_eval --seed 7 --scenarios 50 --threads 1 | cmp - <(argo_eval ... --threads 8)
+//
+// Options:
+//   --seed N            base seed of the scenario family       (default 1)
+//   --scenarios N       number of generated scenarios          (default 20)
+//   --threads N         batch workers; 0 = hardware threads    (default 1)
+//   --policies a,b,..   registry names to compare   (default: all registered)
+//   --sim-trials N      simulator probes per run; 0 = skip     (default 3)
+//   --layers MIN:MAX    hidden-layer range                     (default 2:4)
+//   --width MIN:MAX     nodes-per-layer range                  (default 1:3)
+//   --array-len MIN:MAX array length range                     (default 8:48)
+//   --ccr X             communication/computation knob         (default 1.0)
+//   --spread X          WCET spread (>= 1)                     (default 4.0)
+//   --cores a,b,..      platform-sweep core counts             (default 2,4,8)
+//   --platforms a,b,..  subset of bus_rr,bus_tdma,noc          (default all)
+//   --spm a,b,..        SPM bytes to sweep        (default: platform default)
+//   --timings           include wall-clock fields in the JSON
+//   --out FILE          write the JSON to FILE instead of stdout
+//
+// Exit code: 0 iff the batch ran and every simulator probe stayed within
+// its bound; 1 on a bound violation or a tool-chain error; 2 on usage.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenarios/eval.h"
+#include "support/diagnostics.h"
+#include "support/strings.h"
+
+namespace {
+
+using namespace argo;
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--scenarios N] [--threads N] [--policies a,b]\n"
+      "          [--sim-trials N] [--layers MIN:MAX] [--width MIN:MAX]\n"
+      "          [--array-len MIN:MAX] [--ccr X] [--spread X]\n"
+      "          [--cores a,b] [--platforms bus_rr,bus_tdma,noc]\n"
+      "          [--spm a,b] [--timings] [--out FILE]\n",
+      argv0);
+  std::exit(2);
+}
+
+void parseRange(const std::string& value, int& lo, int& hi, const char* argv0) {
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos) usage(argv0);
+  try {
+    lo = std::stoi(value.substr(0, colon));
+    hi = std::stoi(value.substr(colon + 1));
+  } catch (...) {
+    usage(argv0);
+  }
+}
+
+std::vector<int> parseIntList(const std::string& value, const char* argv0) {
+  std::vector<int> out;
+  for (const std::string& item : support::split(value, ',')) {
+    try {
+      out.push_back(std::stoi(item));
+    } catch (...) {
+      usage(argv0);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scenarios::EvalOptions options;
+  bool timings = false;
+  std::string outFile;
+
+  auto value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--seed") {
+        options.generator.seed = std::stoull(value(i));
+      } else if (arg == "--scenarios") {
+        options.scenarioCount = std::stoi(value(i));
+      } else if (arg == "--threads") {
+        options.threads = std::stoi(value(i));
+      } else if (arg == "--policies") {
+        options.policies = support::split(value(i), ',');
+      } else if (arg == "--sim-trials") {
+        options.simTrials = std::stoi(value(i));
+      } else if (arg == "--layers") {
+        parseRange(value(i), options.generator.minLayers,
+                   options.generator.maxLayers, argv[0]);
+      } else if (arg == "--width") {
+        parseRange(value(i), options.generator.minWidth,
+                   options.generator.maxWidth, argv[0]);
+      } else if (arg == "--array-len") {
+        parseRange(value(i), options.generator.minArrayLen,
+                   options.generator.maxArrayLen, argv[0]);
+      } else if (arg == "--ccr") {
+        options.generator.ccr = std::stod(value(i));
+      } else if (arg == "--spread") {
+        options.generator.wcetSpread = std::stod(value(i));
+      } else if (arg == "--cores") {
+        options.sweep.coreCounts = parseIntList(value(i), argv[0]);
+      } else if (arg == "--platforms") {
+        options.sweep.busRoundRobin = false;
+        options.sweep.busTdma = false;
+        options.sweep.noc = false;
+        for (const std::string& p : support::split(value(i), ',')) {
+          if (p == "bus_rr") options.sweep.busRoundRobin = true;
+          else if (p == "bus_tdma") options.sweep.busTdma = true;
+          else if (p == "noc") options.sweep.noc = true;
+          else usage(argv[0]);
+        }
+      } else if (arg == "--spm") {
+        options.sweep.spmBytes.clear();
+        for (int bytes : parseIntList(value(i), argv[0])) {
+          options.sweep.spmBytes.push_back(bytes);
+        }
+      } else if (arg == "--timings") {
+        timings = true;
+      } else if (arg == "--out") {
+        outFile = value(i);
+      } else {
+        usage(argv[0]);
+      }
+    }
+  } catch (const std::exception&) {
+    usage(argv[0]);
+  }
+
+  try {
+    const scenarios::EvalReport report = scenarios::runEval(options);
+    const std::string json = report.toJson(timings);
+    if (outFile.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(outFile);
+      if (!out) {
+        std::fprintf(stderr, "argo_eval: cannot write '%s'\n",
+                     outFile.c_str());
+        return 1;
+      }
+      out << json << "\n";
+    }
+    return report.allSimSafe ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "argo_eval: %s\n", error.what());
+    return 1;
+  }
+}

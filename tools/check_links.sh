@@ -5,7 +5,9 @@
 # check.
 #
 # Usage: tools/check_links.sh [file.md ...]
-#   With no arguments, checks the repo's top-level *.md plus docs/*.md.
+#   With no arguments, checks the repo's top-level *.md plus docs/*.md
+#   (README, ROADMAP, CHANGES, ARCHITECTURE, SCENARIOS, POLICY_AUTHORING,
+#   and anything added later — new docs/ pages are covered automatically).
 # Exit status: 0 when every relative link resolves, 1 otherwise.
 set -u
 
