@@ -1,0 +1,34 @@
+#include "apps/registry.h"
+
+#include "apps/egpws.h"
+#include "apps/polka.h"
+#include "apps/weaa.h"
+#include "support/diagnostics.h"
+
+namespace argo::apps {
+
+model::Diagram buildAppDiagram(const std::string& app) {
+  if (app == "egpws") return buildEgpwsDiagram(EgpwsConfig{});
+  if (app == "weaa") return buildWeaaDiagram(WeaaConfig{});
+  if (app == "polka") return buildPolkaDiagram(PolkaConfig{});
+  throw support::ToolchainError("unknown app '" + app + "'");
+}
+
+void setAppStepInputs(const std::string& app, ir::Environment& env,
+                      std::uint64_t seed) {
+  if (app == "egpws") {
+    EgpwsInputs in;
+    in.heading = 0.4 + 0.1 * static_cast<double>(seed % 7);
+    setEgpwsInputs(env, in);
+  } else if (app == "weaa") {
+    WeaaInputs in;
+    in.oy = -40.0 + 10.0 * static_cast<double>(seed % 9);
+    setWeaaInputs(env, in);
+  } else if (app == "polka") {
+    setPolkaInputs(env, PolkaConfig{}, makePolkaFrame(PolkaConfig{}, seed));
+  } else {
+    throw support::ToolchainError("unknown app '" + app + "'");
+  }
+}
+
+}  // namespace argo::apps

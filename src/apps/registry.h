@@ -1,0 +1,30 @@
+// Name-keyed access to the built-in avionics use cases.
+//
+// The argo_cc CLI and the codegen differential tests both need "app name
+// -> diagram" and "app name -> per-step inputs"; keeping the recipes here
+// (instead of one copy per driver) guarantees the differential suite
+// exercises exactly the trace the CLI emits.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ir/evaluator.h"
+#include "model/diagram.h"
+
+namespace argo::apps {
+
+/// Builds the diagram of the named built-in app ("egpws", "weaa",
+/// "polka"), each with its default config. Throws support::ToolchainError
+/// for unknown names.
+[[nodiscard]] model::Diagram buildAppDiagram(const std::string& app);
+
+/// Sets every model input of the named app for step `seed`: a small
+/// deterministic per-step variation (heading sweep for egpws, intruder
+/// offset for weaa, a fresh synthetic frame for polka) — the recorded
+/// trace argo_cc --simulate checks and --emit-c embeds. Throws for
+/// unknown names.
+void setAppStepInputs(const std::string& app, ir::Environment& env,
+                      std::uint64_t seed);
+
+}  // namespace argo::apps

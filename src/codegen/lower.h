@@ -1,0 +1,74 @@
+// Lowering of ARGO IR statements and expressions to C.
+//
+// The emitted C must print outputs byte-for-byte equal to ir::Evaluator on
+// the same inputs (the differential-test oracle, docs/CODEGEN.md), so the
+// lowering mirrors the evaluator's scalar model exactly rather than the
+// declared IR types:
+//
+//  * a transient value is either a double or an int64_t (the evaluator's
+//    Scalar); Bool and Int32 reads widen to int64_t immediately;
+//  * mixed int/float arithmetic promotes to double, comparisons always
+//    compare as double, logical operators short-circuit and yield int;
+//  * stores narrow to the declared element width (double / int32_t /
+//    signed char) — the one place the C code is narrower than the
+//    evaluator, see the width caveat in docs/CODEGEN.md;
+//  * float literals are emitted as C99 hexfloats (%a), which round-trip
+//    exactly, so the C compiler sees the same double the evaluator holds.
+//
+// Variables are accessed through the A_<name> accessor macros emitted in
+// program.h (codegen.h); loop variables become block-local int64_t
+// variables named L_<name>.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "ir/function.h"
+
+namespace argo::codegen {
+
+/// C identifier for IR variable `name` ("A_" + sanitized name). Collisions
+/// after sanitization are resolved per-function by cNameTable().
+[[nodiscard]] std::string sanitizeIdent(const std::string& name);
+
+/// One lowered expression: C text plus its evaluator-model type.
+struct LoweredExpr {
+  std::string text;
+  bool isFloat = false;
+};
+
+/// Lowers statements/expressions of one function. The instance tracks the
+/// active loop variables the same way the evaluator does, so VarRefs
+/// resolve identically.
+class Lowerer {
+ public:
+  explicit Lowerer(const ir::Function& fn);
+
+  /// Lowers one statement subtree to C source at `indent` (2 spaces per
+  /// level). Throws support::ToolchainError on constructs the evaluator
+  /// would reject too (unknown intrinsics, rank mismatches).
+  [[nodiscard]] std::string lowerStmt(const ir::Stmt& stmt, int indent);
+
+  /// Lowers one expression. Exposed for the lowering unit tests.
+  [[nodiscard]] LoweredExpr lowerExpr(const ir::Expr& expr);
+
+  /// The accessor-macro name of a declared variable (A_<name>, collision
+  /// free within the function).
+  [[nodiscard]] const std::string& cName(const std::string& irName) const;
+
+ private:
+  [[nodiscard]] std::string flatIndexText(const ir::VarRef& ref,
+                                          const ir::Type& type);
+  [[nodiscard]] std::string storeText(const ir::VarRef& lhs,
+                                      const LoweredExpr& rhs);
+
+  const ir::Function& fn_;
+  std::map<std::string, std::string> cNames_;  // IR name -> A_<name>
+  std::set<std::string> loopVars_;
+};
+
+/// Formats a double as a C99 hexfloat literal (exact round-trip).
+[[nodiscard]] std::string floatLiteral(double v);
+
+}  // namespace argo::codegen

@@ -49,6 +49,12 @@ ToolchainResult Toolchain::run(const model::Diagram& diagram) const {
   return run(diagram.compile());
 }
 
+codegen::Emission Toolchain::emitC(const ToolchainResult& result,
+                                   const codegen::InputTrace& trace) const {
+  return codegen::emitProgram(result.program, platform_, result.constants,
+                              trace);
+}
+
 ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   ToolchainResult result;
   StageClock clock(result.stages);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "adl/platform.h"
+#include "codegen/codegen.h"
 #include "htg/htg.h"
 #include "model/diagram.h"
 #include "par/parallel_program.h"
@@ -125,6 +126,15 @@ class Toolchain {
 
   /// Convenience: compile a diagram, then run.
   [[nodiscard]] ToolchainResult run(const model::Diagram& diagram) const;
+
+  /// The emit step (paper Section II-C: "generate C code following the
+  /// WCET-aware programming model"): lowers the scheduled parallel program
+  /// of a finished run to compilable C, with `trace` as the recorded
+  /// inputs the emitted harness replays. Pure function of
+  /// (result, platform, trace) — the sources are byte-identical across
+  /// runs and thread counts (docs/CODEGEN.md).
+  [[nodiscard]] codegen::Emission emitC(const ToolchainResult& result,
+                                        const codegen::InputTrace& trace) const;
 
   [[nodiscard]] const adl::Platform& platform() const noexcept {
     return platform_;

@@ -38,6 +38,7 @@ void checkOptions(const GeneratorOptions& o) {
   checkRange(o.accumulatorFraction >= 0.0 && o.accumulatorFraction <= 1.0,
              "accumulatorFraction (must be in [0, 1])");
   checkRange(o.baseOpsPerElement >= 1, "baseOpsPerElement");
+  checkRange(o.stencilRadius >= 0, "stencilRadius (must be >= 0)");
 }
 
 /// The element expression of an upstream inside a loop over `loopVar`.
@@ -76,7 +77,141 @@ ir::ExprPtr buildChain(const std::vector<Upstream>& inputs,
   return expr;
 }
 
+/// The clamped window element prev[max(min(i + offset, len - 1), 0)].
+/// Emitted with the IR's Min/Max operators, so the border handling is
+/// analyzable (and exercises integer min/max end to end).
+ir::ExprPtr windowElement(const std::string& prev, const std::string& loopVar,
+                          int offset, int arrayLen) {
+  if (offset == 0) return ir::ref(prev, ir::exprVec(ir::var(loopVar)));
+  ir::ExprPtr idx;
+  if (offset > 0) {
+    idx = ir::bin(ir::BinOpKind::Min,
+                  ir::add(ir::var(loopVar), ir::lit(offset)),
+                  ir::lit(arrayLen - 1));
+  } else {
+    idx = ir::bin(ir::BinOpKind::Max,
+                  ir::sub(ir::var(loopVar), ir::lit(-offset)), ir::lit(0));
+  }
+  return ir::ref(prev, ir::exprVec(std::move(idx)));
+}
+
+/// One stencil stage's element expression: the weighted radius-r window of
+/// `prev`, padded with alternating mul/add until `targetOps` operations,
+/// exactly like buildChain pads fan-in chains.
+ir::ExprPtr buildWindow(const std::string& prev, const std::string& loopVar,
+                        int radius, int arrayLen, int targetOps,
+                        support::Rng& rng) {
+  ir::ExprPtr expr = windowElement(prev, loopVar, 0, arrayLen);
+  int ops = 0;
+  for (int d = 1; d <= radius; ++d) {
+    for (int sign : {-1, 1}) {
+      expr = ir::add(std::move(expr),
+                     ir::mul(windowElement(prev, loopVar, sign * d, arrayLen),
+                             ir::flt(coeff(rng))));
+      ops += 2;
+    }
+  }
+  while (ops < targetOps) {
+    if (ops % 2 == 0) {
+      expr = ir::mul(std::move(expr), ir::flt(coeff(rng)));
+    } else {
+      expr = ir::add(std::move(expr), ir::flt(rng.uniformDouble() - 0.5));
+    }
+    ++ops;
+  }
+  return expr;
+}
+
+/// Shape::StencilChain body of generateScenario: `chains` independent
+/// stencil pipelines, optionally reduction-terminated, folded into y.
+void generateStencilChain(const GeneratorOptions& options, Scenario& scenario,
+                          ir::Function& fn, support::Rng& rng) {
+  const int layers = scenario.layers;
+  const int arrayLen = scenario.arrayLen;
+  const ir::Type arrayType =
+      ir::Type::array(ir::ScalarKind::Float64, {arrayLen});
+  const int chains =
+      static_cast<int>(rng.uniformInt(options.minWidth, options.maxWidth));
+  const double logSpread = std::log(options.wcetSpread);
+
+  std::vector<Upstream> leaves;
+  for (int c = 0; c < chains; ++c) {
+    const std::string in = "u" + std::to_string(c);
+    fn.declare(in, arrayType, ir::VarRole::Input);
+    std::string prev = in;
+    for (int l = 1; l <= layers; ++l) {
+      const double workFactor = std::exp(rng.uniformDouble() * logSpread);
+      const int targetOps = std::max(
+          1, static_cast<int>(std::lround(
+                 workFactor * options.baseOpsPerElement / options.ccr)));
+      // snprintf instead of string concatenation: GCC 12's optimizer
+      // trips a -Wrestrict false positive (PR105329) on the + chain here.
+      char buf[48];
+      std::snprintf(buf, sizeof(buf), "t%d_%d", l, c);
+      const std::string out = buf;
+      std::snprintf(buf, sizeof(buf), "i%d_%d", l, c);
+      const std::string loopVar = buf;
+      fn.declare(out, arrayType, ir::VarRole::Temp);
+      auto body = ir::block();
+      body->append(
+          ir::assign(ir::ref(out, ir::exprVec(ir::var(loopVar))),
+                     buildWindow(prev, loopVar, options.stencilRadius,
+                                 arrayLen, targetOps, rng)));
+      fn.body().append(ir::forLoop(loopVar, 0, arrayLen, std::move(body)));
+      prev = out;
+      scenario.nodes += 1;
+    }
+    // A chain ends in a scalar reduction with probability
+    // accumulatorFraction (the non-expandable tail, like the layered
+    // DAG's accumulator nodes); otherwise its last stage feeds the sink.
+    if (rng.chance(options.accumulatorFraction)) {
+      const std::string acc = "s" + std::to_string(c);
+      const std::string loopVar = "ia_" + std::to_string(c);
+      fn.declare(acc, ir::Type::float64(), ir::VarRole::Temp);
+      fn.body().append(ir::assign(ir::ref(acc), ir::flt(0.0)));
+      auto body = ir::block();
+      body->append(ir::assign(
+          ir::ref(acc),
+          ir::add(ir::var(acc),
+                  ir::mul(ir::ref(prev, ir::exprVec(ir::var(loopVar))),
+                          ir::flt(coeff(rng))))));
+      fn.body().append(ir::forLoop(loopVar, 0, arrayLen, std::move(body)));
+      leaves.push_back(Upstream{acc, true});
+      scenario.nodes += 1;
+    } else {
+      leaves.push_back(Upstream{prev, false});
+    }
+  }
+
+  // Sink: one terminal combining every chain's tail.
+  fn.declare("y", arrayType, ir::VarRole::Output);
+  ir::ExprPtr combo = element(leaves.front(), "iy");
+  for (std::size_t k = 1; k < leaves.size(); ++k) {
+    combo = ir::add(std::move(combo), element(leaves[k], "iy"));
+  }
+  auto sink = ir::block();
+  sink->append(
+      ir::assign(ir::ref("y", ir::exprVec(ir::var("iy"))), std::move(combo)));
+  fn.body().append(ir::forLoop("iy", 0, arrayLen, std::move(sink)));
+  scenario.nodes += 1;
+}
+
 }  // namespace
+
+const char* shapeName(Shape shape) noexcept {
+  switch (shape) {
+    case Shape::LayeredDag: return "layered_dag";
+    case Shape::StencilChain: return "stencil_chain";
+  }
+  return "layered_dag";
+}
+
+Shape shapeFromName(const std::string& name) {
+  if (name == "layered_dag") return Shape::LayeredDag;
+  if (name == "stencil_chain") return Shape::StencilChain;
+  throw ToolchainError("unknown generator shape '" + name +
+                       "' (valid: layered_dag, stencil_chain)");
+}
 
 std::uint64_t scenarioSeed(std::uint64_t base, int index) noexcept {
   // One SplitMix64 step over golden-ratio-spaced inputs: adjacent indices
@@ -108,6 +243,13 @@ Scenario generateScenario(const GeneratorOptions& options, int index) {
   scenario.arrayLen = arrayLen;
 
   auto fn = std::make_unique<ir::Function>(scenario.name);
+
+  if (options.shape == Shape::StencilChain) {
+    generateStencilChain(options, scenario, *fn, rng);
+    scenario.model.fn = std::move(fn);
+    return scenario;
+  }
+
   const ir::Type arrayType =
       ir::Type::array(ir::ScalarKind::Float64, {arrayLen});
 

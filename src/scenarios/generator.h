@@ -27,6 +27,11 @@
 //  * the *sink* — an element-wise loop combining every otherwise
 //    unconsumed value into the output array, so the DAG has one terminal.
 //
+// A second shape, Shape::StencilChain, swaps the layered DAG for
+// independent chains of 1-D stencil stages (radius-r clamped windows) —
+// deep dependence chains with regular reads, the structure the paper's
+// signal-processing kernels exhibit. See Shape below.
+//
 // Determinism: a scenario is a pure function of (options, index). All
 // randomness comes from one support::Rng seeded with scenarioSeed(seed,
 // index); no time, no global state. The same (options, index) produces the
@@ -41,6 +46,27 @@
 #include "model/diagram.h"
 
 namespace argo::scenarios {
+
+/// Workload shapes the generator can produce.
+enum class Shape : std::uint8_t {
+  /// TGFF-style random layered DAG (the original shape; see the header
+  /// comment above).
+  LayeredDag,
+  /// `width` independent chains of `layers` 1-D stencil stages: every
+  /// stage reads a clamped radius-`stencilRadius` window of its
+  /// predecessor array (min/max index clamping at the borders), and a
+  /// chain may be terminated by a scalar reduction (accumulatorFraction).
+  /// Long dependence chains with wide-but-regular reads — the sweep spot
+  /// the layered DAG does not cover. maxFanIn is unused by this shape.
+  StencilChain,
+};
+
+/// Stable CLI name of a shape ("layered_dag", "stencil_chain").
+[[nodiscard]] const char* shapeName(Shape shape) noexcept;
+
+/// Inverse of shapeName; throws support::ToolchainError listing the valid
+/// names when `name` is unknown.
+[[nodiscard]] Shape shapeFromName(const std::string& name);
 
 /// Knobs of the random workload generator. All ranges are inclusive and
 /// every draw is uniform unless stated otherwise.
@@ -83,6 +109,14 @@ struct GeneratorOptions {
   /// Arithmetic operations per element at workFactor 1 and ccr 1 (count,
   /// default 4). The baseline the ccr / wcetSpread knobs scale.
   int baseOpsPerElement = 4;
+  /// Workload shape (default LayeredDag). For StencilChain, `minLayers..
+  /// maxLayers` is the stage count per chain and `minWidth..maxWidth` the
+  /// number of independent chains.
+  Shape shape = Shape::LayeredDag;
+  /// Stencil window half-width for Shape::StencilChain (elements, default
+  /// 1 — a 3-point stencil). 0 degenerates to point-wise copies; other
+  /// shapes ignore it.
+  int stencilRadius = 1;
 };
 
 /// One generated workload plus the metadata the eval report carries.

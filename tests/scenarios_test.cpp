@@ -137,6 +137,157 @@ TEST(ScenarioGenerator, CcrKnobScalesComputation) {
   EXPECT_GT(heavyWcet, lightWcet);
 }
 
+scenarios::GeneratorOptions goldenStencilOptions() {
+  scenarios::GeneratorOptions options = goldenOptions();
+  options.shape = scenarios::Shape::StencilChain;
+  options.stencilRadius = 1;
+  return options;
+}
+
+// The stencil-chain golden graph: byte-for-byte what (goldenStencilOptions,
+// index 0) generates. Same anchor role as kGoldenIr — a diff here breaks
+// the comparability of every recorded stencil-family series.
+constexpr const char* kGoldenStencilIr = R"(function scn000 {
+  in f64[8] u0  // shared
+  tmp f64[8] t1_0  // shared
+  tmp f64[8] t2_0  // shared
+  tmp f64 s0  // shared
+  in f64[8] u1  // shared
+  tmp f64[8] t1_1  // shared
+  tmp f64[8] t2_1  // shared
+  out f64[8] y  // shared
+
+  for (i1_0 = 0; i1_0 < 8; i1_0++) {
+    t1_0[i1_0] = ((((u0[i1_0] + (u0[max((i1_0 - 1), 0)] * 1.06643)) + (u0[min((i1_0 + 1), 7)] * 0.902756)) * 1.22117) + -0.102539);
+  }
+  for (i2_0 = 0; i2_0 < 8; i2_0++) {
+    t2_0[i2_0] = ((((t1_0[i2_0] + (t1_0[max((i2_0 - 1), 0)] * 0.644547)) + (t1_0[min((i2_0 + 1), 7)] * 1.23722)) * 0.774049) + 0.145913);
+  }
+  s0 = 0;
+  for (ia_0 = 0; ia_0 < 8; ia_0++) {
+    s0 = (s0 + (t2_0[ia_0] * 1.30009));
+  }
+  for (i1_1 = 0; i1_1 < 8; i1_1++) {
+    t1_1[i1_1] = ((((u1[i1_1] + (u1[max((i1_1 - 1), 0)] * 1.04266)) + (u1[min((i1_1 + 1), 7)] * 1.13794)) * 1.11776) + 0.241278);
+  }
+  for (i2_1 = 0; i2_1 < 8; i2_1++) {
+    t2_1[i2_1] = ((t1_1[i2_1] + (t1_1[max((i2_1 - 1), 0)] * 1.19741)) + (t1_1[min((i2_1 + 1), 7)] * 0.946468));
+  }
+  for (iy = 0; iy < 8; iy++) {
+    y[iy] = (s0 + t2_1[iy]);
+  }
+}
+)";
+
+TEST(StencilChainGenerator, GoldenGraphFixedSeed) {
+  const scenarios::Scenario scenario =
+      scenarios::generateScenario(goldenStencilOptions(), 0);
+  EXPECT_EQ(scenario.name, "scn000");
+  EXPECT_EQ(scenario.layers, 2);
+  // 2 chains x 2 stages + 1 reduction-terminated chain + sink.
+  EXPECT_EQ(scenario.nodes, 6);
+  EXPECT_EQ(scenario.arrayLen, 8);
+  EXPECT_TRUE(ir::validate(*scenario.model.fn).empty());
+  EXPECT_EQ(ir::toString(*scenario.model.fn), kGoldenStencilIr);
+}
+
+TEST(StencilChainGenerator, IsDeterministicAndDistinctFromLayeredDag) {
+  const scenarios::GeneratorOptions options = goldenStencilOptions();
+  for (int index : {0, 2, 9}) {
+    EXPECT_EQ(
+        ir::toString(*scenarios::generateScenario(options, index).model.fn),
+        ir::toString(*scenarios::generateScenario(options, index).model.fn));
+  }
+  EXPECT_NE(ir::toString(*scenarios::generateScenario(options, 0).model.fn),
+            ir::toString(
+                *scenarios::generateScenario(goldenOptions(), 0).model.fn));
+}
+
+TEST(StencilChainGenerator, RadiusKnobShapesTheWindow) {
+  // Radius 0 degenerates to point-wise stages: no clamped window reads.
+  scenarios::GeneratorOptions options = goldenStencilOptions();
+  options.stencilRadius = 0;
+  const std::string pointwise =
+      ir::toString(*scenarios::generateScenario(options, 0).model.fn);
+  EXPECT_EQ(pointwise.find("min("), std::string::npos);
+  EXPECT_EQ(pointwise.find("max("), std::string::npos);
+
+  // Radius 2 reads two clamped neighbours per side in every stage.
+  options.stencilRadius = 2;
+  const std::string wide =
+      ir::toString(*scenarios::generateScenario(options, 0).model.fn);
+  EXPECT_NE(wide.find("+ 2), 7)"), std::string::npos);
+  EXPECT_NE(wide.find("- 2), 0)"), std::string::npos);
+
+  options.stencilRadius = -1;
+  EXPECT_THROW((void)scenarios::generateScenario(options, 0),
+               support::ToolchainError);
+}
+
+TEST(StencilChainGenerator, WidthAndAccumulatorKnobs) {
+  // accumulatorFraction 0: every chain feeds the sink as an array, so the
+  // loop count is chains * layers + sink and no scalar is declared.
+  scenarios::GeneratorOptions options = goldenStencilOptions();
+  options.accumulatorFraction = 0.0;
+  options.minWidth = options.maxWidth = 3;
+  const scenarios::Scenario plain =
+      scenarios::generateScenario(options, 0);
+  EXPECT_EQ(plain.nodes, 3 * plain.layers + 1);
+  EXPECT_EQ(ir::toString(*plain.model.fn).find("s0"), std::string::npos);
+
+  // accumulatorFraction 1: every chain is reduction-terminated.
+  options.accumulatorFraction = 1.0;
+  const scenarios::Scenario reduced =
+      scenarios::generateScenario(options, 0);
+  EXPECT_EQ(reduced.nodes, 3 * (reduced.layers + 1) + 1);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NE(reduced.model.fn->find("s" + std::to_string(c)), nullptr);
+  }
+}
+
+TEST(StencilChainGenerator, CcrKnobScalesComputation) {
+  scenarios::GeneratorOptions computeBound = goldenStencilOptions();
+  computeBound.ccr = 0.25;
+  scenarios::GeneratorOptions commBound = goldenStencilOptions();
+  commBound.ccr = 4.0;
+  const scenarios::Scenario heavy =
+      scenarios::generateScenario(computeBound, 0);
+  const scenarios::Scenario light = scenarios::generateScenario(commBound, 0);
+  EXPECT_EQ(heavy.nodes, light.nodes);
+  const adl::Platform platform = adl::makeRecoreXentiumBus(2);
+  const wcet::TimingModel model = wcet::TimingModel::forTile(platform, 0);
+  EXPECT_GT(
+      wcet::SchemaAnalyzer(*heavy.model.fn, model).analyzeFunction().cycles,
+      wcet::SchemaAnalyzer(*light.model.fn, model).analyzeFunction().cycles);
+}
+
+TEST(StencilChainGenerator, ShapeNamesRoundTrip) {
+  EXPECT_STREQ(scenarios::shapeName(scenarios::Shape::LayeredDag),
+               "layered_dag");
+  EXPECT_STREQ(scenarios::shapeName(scenarios::Shape::StencilChain),
+               "stencil_chain");
+  EXPECT_EQ(scenarios::shapeFromName("stencil_chain"),
+            scenarios::Shape::StencilChain);
+  EXPECT_EQ(scenarios::shapeFromName("layered_dag"),
+            scenarios::Shape::LayeredDag);
+  EXPECT_THROW((void)scenarios::shapeFromName("banded"),
+               support::ToolchainError);
+}
+
+TEST(StencilChainGenerator, RunsEndToEndWithinBound) {
+  const scenarios::Scenario scenario =
+      scenarios::generateScenario(goldenStencilOptions(), 1);
+  const adl::Platform platform = adl::makeRecoreXentiumBus(4);
+  core::ToolchainOptions options;
+  options.chunkCandidates = {1, 2};
+  const core::Toolchain toolchain(platform, options);
+  const core::ToolchainResult result = toolchain.run(scenario.model);
+  EXPECT_GT(result.system.makespan, 0);
+  const sim::Simulator simulator(result.program, platform);
+  ir::Environment env = ir::makeZeroEnvironment(*result.fn);
+  EXPECT_LE(simulator.step(env).makespan, result.system.makespan);
+}
+
 TEST(ScenarioGenerator, RejectsInvalidKnobs) {
   scenarios::GeneratorOptions options;
   options.ccr = 0.0;

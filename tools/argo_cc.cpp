@@ -20,6 +20,12 @@
 //   --no-spm            disable scratchpad allocation
 //   --no-transforms     disable the transformation passes
 //   --simulate N        simulate N steps and check them against the bound
+//   --emit-c DIR        emit the scheduled program as compilable C into DIR
+//                       (argo_rt.h, program.h, tile<t>.c, main.c — see
+//                       docs/CODEGEN.md; build with
+//                       `cc -std=c11 -O1 -fno-strict-aliasing *.c -lm`)
+//   --emit-steps N      steps of recorded inputs the emitted harness
+//                       replays (default 3)
 //   --report LIST       comma list: summary,gantt,mhp,bottlenecks,code:TILE
 //                       (default summary)
 #include <cmath>
@@ -31,9 +37,8 @@
 #include <vector>
 
 #include "adl/parser.h"
-#include "apps/egpws.h"
-#include "apps/polka.h"
-#include "apps/weaa.h"
+#include "apps/registry.h"
+#include "codegen/codegen.h"
 #include "core/report.h"
 #include "core/toolchain.h"
 #include "sim/simulator.h"
@@ -54,6 +59,8 @@ struct Options {
   bool spm = true;
   bool transforms = true;
   int simulate = 0;
+  std::string emitDir;
+  int emitSteps = 3;
   std::vector<std::string> reports = {"summary"};
 };
 
@@ -64,6 +71,7 @@ struct Options {
                "          [--adl FILE] [--policy heft|bnb|annealed|oblivious]"
                " [--chunks N]\n"
                "          [--no-spm] [--no-transforms] [--simulate N]\n"
+               "          [--emit-c DIR] [--emit-steps N]\n"
                "          [--report summary,gantt,mhp,bottlenecks,code:TILE]\n",
                argv0);
   std::exit(2);
@@ -86,6 +94,8 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--no-spm") options.spm = false;
     else if (arg == "--no-transforms") options.transforms = false;
     else if (arg == "--simulate") options.simulate = std::stoi(value(i));
+    else if (arg == "--emit-c") options.emitDir = value(i);
+    else if (arg == "--emit-steps") options.emitSteps = std::stoi(value(i));
     else if (arg == "--report") options.reports = support::split(value(i), ',');
     else usage(argv[0]);
   }
@@ -118,29 +128,6 @@ adl::Platform makePlatform(const Options& options) {
   throw support::ToolchainError("unknown platform '" + options.platform + "'");
 }
 
-model::Diagram makeApp(const std::string& app) {
-  if (app == "egpws") return apps::buildEgpwsDiagram(apps::EgpwsConfig{});
-  if (app == "weaa") return apps::buildWeaaDiagram(apps::WeaaConfig{});
-  if (app == "polka") return apps::buildPolkaDiagram(apps::PolkaConfig{});
-  throw support::ToolchainError("unknown app '" + app + "'");
-}
-
-void setAppInputs(const std::string& app, ir::Environment& env,
-                  std::uint64_t seed) {
-  if (app == "egpws") {
-    apps::EgpwsInputs in;
-    in.heading = 0.4 + 0.1 * static_cast<double>(seed % 7);
-    apps::setEgpwsInputs(env, in);
-  } else if (app == "weaa") {
-    apps::WeaaInputs in;
-    in.oy = -40.0 + 10.0 * static_cast<double>(seed % 9);
-    apps::setWeaaInputs(env, in);
-  } else {
-    apps::setPolkaInputs(env, apps::PolkaConfig{},
-                         apps::makePolkaFrame(apps::PolkaConfig{}, seed));
-  }
-}
-
 std::string parsePolicy(const std::string& name) {
   // Short CLI aliases for the built-ins; anything else is passed through
   // to the policy registry verbatim, so custom registered policies are
@@ -169,7 +156,8 @@ int main(int argc, char** argv) {
     }
 
     const core::Toolchain toolchain(platform, toolchainOptions);
-    const core::ToolchainResult result = toolchain.run(makeApp(options.app));
+    const core::ToolchainResult result =
+        toolchain.run(apps::buildAppDiagram(options.app));
 
     for (const std::string& report : options.reports) {
       if (report == "summary") {
@@ -189,13 +177,31 @@ int main(int argc, char** argv) {
       }
     }
 
+    if (!options.emitDir.empty()) {
+      // Record the same deterministic per-step inputs --simulate uses, so
+      // the emitted harness and a simulated run see identical data.
+      codegen::InputTrace trace;
+      for (int step = 0; step < options.emitSteps; ++step) {
+        ir::Environment env = ir::makeZeroEnvironment(*result.fn);
+        apps::setAppStepInputs(options.app, env,
+                               static_cast<std::uint64_t>(step));
+        trace.steps.push_back(std::move(env));
+      }
+      const codegen::Emission emission = toolchain.emitC(result, trace);
+      codegen::writeSources(options.emitDir, emission);
+      std::printf("emitted %zu files (%zu C units) to %s\n",
+                  emission.files.size(), emission.cUnits.size(),
+                  options.emitDir.c_str());
+    }
+
     if (options.simulate > 0) {
       sim::Simulator simulator(result.program, platform);
       ir::Environment env = ir::makeZeroEnvironment(*result.fn);
       for (const auto& [name, value] : result.constants) env[name] = value;
       bool allSafe = true;
       for (int step = 0; step < options.simulate; ++step) {
-        setAppInputs(options.app, env, static_cast<std::uint64_t>(step));
+        apps::setAppStepInputs(options.app, env,
+                               static_cast<std::uint64_t>(step));
         const sim::StepResult observed = simulator.step(env);
         const bool safe = observed.makespan <= result.system.makespan;
         allSafe = allSafe && safe;

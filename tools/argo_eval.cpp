@@ -15,6 +15,11 @@
 //   --scenarios N       number of generated scenarios          (default 20)
 //   --threads N         batch workers; 0 = hardware threads    (default 1)
 //   --policies a,b,..   registry names to compare   (default: all registered)
+//                       (accepts the argo_cc aliases bnb / oblivious;
+//                       unknown names are rejected up front with the
+//                       registered set)
+//   --shape NAME        layered_dag | stencil_chain   (default layered_dag)
+//   --stencil-radius N  window half-width for stencil_chain    (default 1)
 //   --sim-trials N      simulator probes per run; 0 = skip     (default 3)
 //   --layers MIN:MAX    hidden-layer range                     (default 2:4)
 //   --width MIN:MAX     nodes-per-layer range                  (default 1:3)
@@ -36,6 +41,7 @@
 #include <vector>
 
 #include "scenarios/eval.h"
+#include "sched/policy.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
 
@@ -49,6 +55,7 @@ using namespace argo;
       "usage: %s [--seed N] [--scenarios N] [--threads N] [--policies a,b]\n"
       "          [--sim-trials N] [--layers MIN:MAX] [--width MIN:MAX]\n"
       "          [--array-len MIN:MAX] [--ccr X] [--spread X]\n"
+      "          [--shape layered_dag|stencil_chain] [--stencil-radius N]\n"
       "          [--cores a,b] [--platforms bus_rr,bus_tdma,noc]\n"
       "          [--spm a,b] [--timings] [--out FILE]\n",
       argv0);
@@ -99,7 +106,15 @@ int main(int argc, char** argv) {
       } else if (arg == "--threads") {
         options.threads = std::stoi(value(i));
       } else if (arg == "--policies") {
-        options.policies = support::split(value(i), ',');
+        // Same UX as argo_cc --policy: short aliases for the built-ins,
+        // everything else passed to the registry verbatim.
+        options.policies.clear();
+        for (const std::string& name : support::split(value(i), ',')) {
+          if (name == "bnb") options.policies.push_back("branch_and_bound");
+          else if (name == "oblivious")
+            options.policies.push_back("contention_oblivious");
+          else options.policies.push_back(name);
+        }
       } else if (arg == "--sim-trials") {
         options.simTrials = std::stoi(value(i));
       } else if (arg == "--layers") {
@@ -115,6 +130,10 @@ int main(int argc, char** argv) {
         options.generator.ccr = std::stod(value(i));
       } else if (arg == "--spread") {
         options.generator.wcetSpread = std::stod(value(i));
+      } else if (arg == "--shape") {
+        options.generator.shape = scenarios::shapeFromName(value(i));
+      } else if (arg == "--stencil-radius") {
+        options.generator.stencilRadius = std::stoi(value(i));
       } else if (arg == "--cores") {
         options.sweep.coreCounts = parseIntList(value(i), argv[0]);
       } else if (arg == "--platforms") {
@@ -140,11 +159,22 @@ int main(int argc, char** argv) {
         usage(argv[0]);
       }
     }
+  } catch (const support::ToolchainError& error) {
+    // Knob-level diagnostics (e.g. an unknown --shape) carry their own
+    // message; surface it instead of the generic usage text.
+    std::fprintf(stderr, "argo_eval: %s\n", error.what());
+    return 2;
   } catch (const std::exception&) {
     usage(argv[0]);
   }
 
   try {
+    // Reject unknown policy names up front — before any generation or
+    // tool-chain work — with the registered-set diagnostic (the same UX
+    // as argo_cc --policy).
+    for (const std::string& policy : options.policies) {
+      (void)sched::policyOrThrow(policy);
+    }
     const scenarios::EvalReport report = scenarios::runEval(options);
     const std::string json = report.toJson(timings);
     if (outFile.empty()) {

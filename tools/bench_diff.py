@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_eval JSON reports (tools/argo_eval) PR-over-PR.
+
+Usage:
+    bench_diff.py OLD.json NEW.json
+    bench_diff.py --self-test
+
+Prints a per-policy delta table — wins, mean tightness, mean bound
+speedup, and (when both reports carry --timings) wall time — plus the
+mean per-row bound delta over the rows the two reports share (matched by
+(scenario, platform, policy)). Purely informational: exit 0 on success,
+1 on malformed input, 2 on usage. CI runs this against the previous
+run's BENCH_eval artifact to expose the bound/wall-time trajectory of
+every PR (see .github/workflows/ci.yml and docs/SCENARIOS.md).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"bench_diff: cannot read {path}: {err}")
+    for key in ("rows", "summary", "policies"):
+        if key not in report:
+            raise SystemExit(f"bench_diff: {path} is not a BENCH_eval report "
+                             f"(missing '{key}')")
+    return report
+
+
+def fmt_delta(old, new, percent=True):
+    """'old -> new (+x%)' with a stable fixed format."""
+    if old is None or new is None:
+        return "n/a"
+    if isinstance(old, float) or isinstance(new, float):
+        text = f"{old:.4f} -> {new:.4f}"
+    else:
+        text = f"{old} -> {new}"
+    if percent and old:
+        text += f" ({100.0 * (new - old) / old:+.1f}%)"
+    return text
+
+
+def per_policy_summary(report):
+    return {entry["policy"]: entry
+            for entry in report["summary"].get("per_policy", [])}
+
+
+def row_key(row):
+    return (row.get("scenario"), row.get("platform"), row.get("policy"))
+
+
+def diff(old, new, out=sys.stdout):
+    old_sum = per_policy_summary(old)
+    new_sum = per_policy_summary(new)
+    policies = [p for p in new["policies"]]
+    for p in old["policies"]:
+        if p not in policies:
+            policies.append(p)
+
+    # Mean per-row bound/observed delta over the shared row set.
+    old_rows = {row_key(r): r for r in old["rows"]}
+    matched = 0
+    bound_ratios = {}
+    for row in new["rows"]:
+        prev = old_rows.get(row_key(row))
+        if prev is None or not prev.get("bound"):
+            continue
+        matched += 1
+        bound_ratios.setdefault(row["policy"], []).append(
+            (row["bound"] - prev["bound"]) / prev["bound"])
+
+    print(f"BENCH_eval diff: {len(old['rows'])} old rows, "
+          f"{len(new['rows'])} new rows, {matched} matched "
+          f"(seed {old.get('seed')} -> {new.get('seed')})", file=out)
+    header = (f"{'policy':<22} {'wins':<16} {'mean_tightness':<28} "
+              f"{'mean_bound_speedup':<28} {'mean_bound_delta':<16} wall_ms")
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for policy in policies:
+        o = old_sum.get(policy, {})
+        n = new_sum.get(policy, {})
+        ratios = bound_ratios.get(policy)
+        bound_delta = (f"{100.0 * sum(ratios) / len(ratios):+.2f}%"
+                       if ratios else "n/a")
+        wall = fmt_delta(o.get("wall_ms"), n.get("wall_ms"))
+        print(f"{policy:<22} "
+              f"{fmt_delta(o.get('wins'), n.get('wins'), percent=False):<16} "
+              f"{fmt_delta(o.get('mean_tightness'), n.get('mean_tightness')):<28} "
+              f"{fmt_delta(o.get('mean_bound_speedup'), n.get('mean_bound_speedup')):<28} "
+              f"{bound_delta:<16} {wall}", file=out)
+
+    old_safe = old["summary"].get("all_sim_safe")
+    new_safe = new["summary"].get("all_sim_safe")
+    print(f"all_sim_safe: {old_safe} -> {new_safe}", file=out)
+    total = fmt_delta(old["summary"].get("total_wall_ms"),
+                      new["summary"].get("total_wall_ms"))
+    if total != "n/a":
+        print(f"total_wall_ms: {total}", file=out)
+
+
+def _fixture(bound, tightness, wall):
+    return {
+        "bench": "argo_eval", "seed": 7,
+        "policies": ["heft", "annealed"],
+        "rows": [
+            {"scenario": "scn000", "platform": "bus_rr_c2", "policy": "heft",
+             "bound": bound, "tightness": tightness},
+            {"scenario": "scn000", "platform": "bus_rr_c2",
+             "policy": "annealed", "bound": bound + 50, "tightness": 0.5},
+        ],
+        "summary": {
+            "per_policy": [
+                {"policy": "heft", "wins": 1, "mean_tightness": tightness,
+                 "mean_bound_speedup": 2.0, "wall_ms": wall},
+                {"policy": "annealed", "wins": 0, "mean_tightness": 0.5,
+                 "mean_bound_speedup": 1.8, "wall_ms": wall * 2},
+            ],
+            "all_sim_safe": True,
+            "total_wall_ms": wall * 3,
+        },
+    }
+
+
+def self_test():
+    import io
+    out = io.StringIO()
+    diff(_fixture(1000, 0.8, 10.0), _fixture(900, 0.85, 12.0), out=out)
+    text = out.getvalue()
+    for needle in ("heft", "annealed", "1 -> 1", "0.8000 -> 0.8500",
+                   "-10.00%", "all_sim_safe: True -> True",
+                   "total_wall_ms: 30.0000 -> 36.0000 (+20.0%)"):
+        if needle not in text:
+            raise SystemExit(
+                f"bench_diff --self-test: missing {needle!r} in:\n{text}")
+    print("bench_diff self-test ok")
+
+
+def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        self_test()
+        return 0
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    diff(load(argv[1]), load(argv[2]))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
