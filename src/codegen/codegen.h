@@ -20,10 +20,13 @@
 //                 schedule order, each slot carrying its Wait/Signal
 //                 event lists.
 //   main.c      — the harness: defines the regions, embeds the recorded
-//                 input trace and the constant tables, runs the global
-//                 time-triggered dispatch (slots merged across tiles by
-//                 scheduled start time), and prints every Output variable
-//                 after each step in the canonical text format below.
+//                 input trace and the constant tables, runs the dispatch
+//                 (ExecMode::Sequential merges all tiles' slots by
+//                 scheduled start time into one in-order replay;
+//                 ExecMode::Threads spawns one pthread per tile, each
+//                 walking its own table), and prints every Output
+//                 variable after each step in the canonical text format
+//                 below.
 //
 // Canonical output format (the differential-test oracle): per step a
 // "-- step K" line, then one "name = value" (scalar) or "name[i] = value"
@@ -47,6 +50,34 @@
 #include "par/parallel_program.h"
 
 namespace argo::codegen {
+
+/// How the emitted harness executes the scheduled slots.
+enum class ExecMode {
+  /// One process, one thread: the slots of every tile are merged into a
+  /// single time-triggered dispatch order and replayed in-order (the
+  /// original differential-replay harness). A wait on an unposted event
+  /// traps immediately (exit 3).
+  Sequential,
+  /// True parallel execution: main.c spawns one pthread per tile that
+  /// received work, each walking its own per-tile dispatch table. Event
+  /// channels become condvar waits under a global mutex, the per-step
+  /// rendezvous is a counted reusable barrier, and a watchdog
+  /// (ARGO_WATCHDOG_NS, default 10 s) turns a deadlocked wait into a
+  /// loud exit 3. Build with -pthread (docs/CODEGEN.md
+  /// "Execution modes").
+  Threads,
+};
+
+/// Emission options (beyond the program/platform/constants/trace inputs).
+struct EmitOptions {
+  ExecMode mode = ExecMode::Sequential;
+  /// Emit per-slot runtime checks of the schedule's start/finish cycles
+  /// against a monotonic step-relative clock: a slot whose start or
+  /// finish exceeds cycles * ARGO_NS_PER_CYCLE + ARGO_ASSERT_SLACK_NS
+  /// (both env-overridable) exits 4 — the WCET bound checked by
+  /// execution, not only by simulation.
+  bool runtimeAsserts = false;
+};
 
 /// One emitted source file.
 struct SourceFile {
@@ -72,14 +103,20 @@ struct Emission {
 };
 
 /// Lowers `program` to C. Throws support::ToolchainError when the trace
-/// misses an input or the program uses a construct that cannot be
-/// lowered (unknown intrinsic, rank mismatch). Runtime divergences from
-/// the evaluator's error behaviour — notably the absent per-access
+/// is empty or misses an input, a constant or trace value exceeds its
+/// declared element width, or the program uses a construct that cannot
+/// be lowered (unknown intrinsic, rank mismatch). Runtime divergences
+/// from the evaluator's error behaviour — notably the absent per-access
 /// index range check — are documented in docs/CODEGEN.md.
 [[nodiscard]] Emission emitProgram(const par::ParallelProgram& program,
                                    const adl::Platform& platform,
                                    const ir::Environment& constants,
-                                   const InputTrace& trace);
+                                   const InputTrace& trace,
+                                   const EmitOptions& options = {});
+
+/// The verbatim text of the emitted argo_rt.h runtime header (exposed so
+/// the runtime-primitive tests can compile it standalone).
+[[nodiscard]] const char* runtimeHeader() noexcept;
 
 /// Writes every file of `emission` into directory `dir` (created,
 /// including parents, when absent). Existing files are overwritten.

@@ -1,5 +1,6 @@
 #include "codegen/lower.h"
 
+#include <cstdint>
 #include <cstdio>
 
 #include "support/diagnostics.h"
@@ -269,6 +270,28 @@ std::string Lowerer::lowerStmt(const ir::Stmt& stmt, int indent) {
   switch (stmt.kind()) {
     case ir::StmtKind::Assign: {
       const auto& assign = ir::cast<ir::Assign>(stmt);
+      // A literal store that the emitted C would silently narrow is a
+      // program error, not a codegen concern — diagnose it here so the
+      // emission never diverges from the evaluator (which keeps the full
+      // int64 value).
+      if (assign.rhs().kind() == ir::ExprKind::IntLit) {
+        const auto literal = ir::cast<ir::IntLit>(assign.rhs()).value();
+        const ir::VarDecl& decl = fn_.lookup(assign.lhs().name());
+        const bool narrows =
+            (decl.type.kind() == ir::ScalarKind::Int32 &&
+             (literal < INT32_MIN || literal > INT32_MAX)) ||
+            (decl.type.kind() == ir::ScalarKind::Bool &&
+             (literal < -128 || literal > 127));
+        if (narrows) {
+          throw ToolchainError(
+              "codegen: literal " + std::to_string(literal) + " stored to '" +
+              assign.lhs().name() +
+              "' exceeds the declared " +
+              (decl.type.kind() == ir::ScalarKind::Int32 ? "int32" : "bool") +
+              " width (the emitted region narrows stores; see "
+              "docs/CODEGEN.md)");
+        }
+      }
       const LoweredExpr rhs = lowerExpr(assign.rhs());
       out += pad + storeText(assign.lhs(), rhs) + "\n";
       break;

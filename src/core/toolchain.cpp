@@ -50,9 +50,10 @@ ToolchainResult Toolchain::run(const model::Diagram& diagram) const {
 }
 
 codegen::Emission Toolchain::emitC(const ToolchainResult& result,
-                                   const codegen::InputTrace& trace) const {
+                                   const codegen::InputTrace& trace,
+                                   const codegen::EmitOptions& options) const {
   return codegen::emitProgram(result.program, platform_, result.constants,
-                              trace);
+                              trace, options);
 }
 
 ToolchainResult Toolchain::run(const model::CompiledModel& model) const {

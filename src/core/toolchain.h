@@ -130,11 +130,14 @@ class Toolchain {
   /// The emit step (paper Section II-C: "generate C code following the
   /// WCET-aware programming model"): lowers the scheduled parallel program
   /// of a finished run to compilable C, with `trace` as the recorded
-  /// inputs the emitted harness replays. Pure function of
-  /// (result, platform, trace) — the sources are byte-identical across
-  /// runs and thread counts (docs/CODEGEN.md).
-  [[nodiscard]] codegen::Emission emitC(const ToolchainResult& result,
-                                        const codegen::InputTrace& trace) const;
+  /// inputs the emitted harness replays and `options` selecting the
+  /// execution mode of the emitted harness (sequential replay or one
+  /// pthread per tile) and the optional runtime deadline asserts. Pure
+  /// function of (result, platform, trace, options) — the sources are
+  /// byte-identical across runs and thread counts (docs/CODEGEN.md).
+  [[nodiscard]] codegen::Emission emitC(
+      const ToolchainResult& result, const codegen::InputTrace& trace,
+      const codegen::EmitOptions& options = {}) const;
 
   [[nodiscard]] const adl::Platform& platform() const noexcept {
     return platform_;

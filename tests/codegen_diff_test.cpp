@@ -1,9 +1,16 @@
 // Differential test of the C code-generation backend: emit the scheduled
-// program as C, compile it with the host C compiler (-Wall -Wextra
-// -Werror, so emission must be warning-clean), run it, and require the
-// printed outputs to match ir::Evaluator byte-for-byte on the same inputs
-// (codegen::referenceOutputs). Covered: the three avionics apps and a
-// 25-scenario slice of the generated scenario matrix.
+// program as C in BOTH execution modes, compile each with the host C
+// compiler (-Wall -Wextra -Werror, so emission must be warning-clean),
+// run them, and require the printed outputs to match ir::Evaluator
+// byte-for-byte on the same inputs (codegen::referenceOutputs). The
+// threaded build runs with --runtime-asserts enabled (so no slot may
+// violate its scheduled deadline) and is executed ARGO_DIFF_REPEAT times
+// (default 2) to shake out interleavings; when the repo is built with
+// ARGO_SANITIZE=thread (or ARGO_DIFF_TSAN is set in the environment) the
+// threaded harness is additionally compiled with -fsanitize=thread, so a
+// data race in the emitted synchronization fails the suite. Covered: the
+// three avionics apps and a 25-scenario slice of the generated scenario
+// matrix.
 #include <gtest/gtest.h>
 
 #include <array>
@@ -34,6 +41,29 @@ namespace fs = std::filesystem;
 constexpr const char* kCcFlags =
     "-std=c11 -O1 -fno-strict-aliasing -Wall -Wextra -Werror";
 
+/// How many times each threaded build is executed (every run must match
+/// the oracle byte-for-byte). The TSan CI job raises this via env to
+/// explore more interleavings than the default matrix.
+int diffRepeat() {
+  const char* env = std::getenv("ARGO_DIFF_REPEAT");
+  if (env != nullptr && *env != '\0') {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 2;
+}
+
+/// Whether the threaded harness is compiled with -fsanitize=thread:
+/// either the repo itself was configured with ARGO_SANITIZE=thread
+/// (CMake defines ARGO_EMITTED_TSAN) or ARGO_DIFF_TSAN is set at runtime.
+bool emittedTsan() {
+#ifdef ARGO_EMITTED_TSAN
+  return true;
+#else
+  return std::getenv("ARGO_DIFF_TSAN") != nullptr;
+#endif
+}
+
 fs::path makeTempDir(const std::string& tag) {
   std::string templ =
       (fs::temp_directory_path() / ("argo_codegen_" + tag + "_XXXXXX"))
@@ -51,19 +81,10 @@ std::string readFile(const fs::path& path) {
   return text.str();
 }
 
-/// Writes, compiles and runs an emission; returns the program's stdout.
-/// Fails the current test (with the compiler log) when compilation or the
-/// run does not exit 0.
-std::string compileAndRun(const codegen::Emission& emission,
-                          const std::string& tag) {
-  const fs::path dir = makeTempDir(tag);
-  codegen::writeSources(dir.string(), emission);
-
-  std::string cmd = "cd '" + dir.string() + "' && " + ARGO_HOST_CC + " " +
-                    kCcFlags + " -o prog";
-  for (const std::string& unit : emission.cUnits) cmd += " " + unit;
-  cmd += " -lm 2>cc.log && ./prog";
-
+/// Runs `cmd` through popen and returns its stdout; EXPECTs exit 0 with
+/// `log` (compiler output) attached to the failure message.
+std::string runCommand(const std::string& cmd, const std::string& tag,
+                       const fs::path& logPath) {
   std::string output;
   FILE* pipe = popen(cmd.c_str(), "r");
   EXPECT_NE(pipe, nullptr) << "popen failed for " << tag;
@@ -74,11 +95,37 @@ std::string compileAndRun(const codegen::Emission& emission,
       output.append(buf.data(), n);
     }
     const int status = pclose(pipe);
-    EXPECT_EQ(status, 0) << tag << ": compile/run failed\n"
-                         << readFile(dir / "cc.log");
+    EXPECT_EQ(status, 0) << tag << ": command failed\n" << readFile(logPath);
   }
-  fs::remove_all(dir);
   return output;
+}
+
+/// Writes and compiles an emission into a fresh temp dir; returns the dir
+/// (./prog inside it). `threaded` adds -pthread and, per emittedTsan(),
+/// -fsanitize=thread.
+fs::path compileEmission(const codegen::Emission& emission,
+                         const std::string& tag, bool threaded) {
+  const fs::path dir = makeTempDir(tag);
+  codegen::writeSources(dir.string(), emission);
+
+  std::string cmd = "cd '" + dir.string() + "' && " + ARGO_HOST_CC + " " +
+                    kCcFlags;
+  if (threaded) {
+    cmd += " -pthread";
+    if (emittedTsan()) cmd += " -fsanitize=thread";
+  }
+  cmd += " -o prog";
+  for (const std::string& unit : emission.cUnits) cmd += " " + unit;
+  cmd += " -lm 2>cc.log";
+  runCommand(cmd, tag + ":compile", dir / "cc.log");
+  return dir;
+}
+
+/// Runs the compiled program of `dir` once and returns its stdout.
+std::string runProgram(const fs::path& dir, const std::string& tag) {
+  const std::string cmd =
+      "cd '" + dir.string() + "' && ./prog 2>run.log";
+  return runCommand(cmd, tag + ":run", dir / "run.log");
 }
 
 /// Uniform [-1, 1) inputs for every Input variable, one stream per step
@@ -102,16 +149,43 @@ codegen::InputTrace randomTrace(const ir::Function& fn, std::uint64_t seed,
   return trace;
 }
 
+/// The dual-mode oracle: both the sequential and the threaded emission
+/// must print the evaluator's bytes; the threaded build carries runtime
+/// deadline asserts and is run diffRepeat() times. The per-tile
+/// translation units must be byte-identical across the two modes (only
+/// program.h and main.c differ).
 void expectDifferentialMatch(const core::Toolchain& toolchain,
                              const core::ToolchainResult& result,
                              const codegen::InputTrace& trace,
                              const std::string& tag) {
-  const codegen::Emission emission = toolchain.emitC(result, trace);
-  const std::string observed = compileAndRun(emission, tag);
   const std::string expected =
       codegen::referenceOutputs(*result.fn, result.constants, trace);
   EXPECT_FALSE(expected.empty()) << tag;
-  EXPECT_EQ(observed, expected) << tag;
+
+  const codegen::Emission sequential = toolchain.emitC(result, trace);
+  codegen::EmitOptions threadedOptions;
+  threadedOptions.mode = codegen::ExecMode::Threads;
+  threadedOptions.runtimeAsserts = true;
+  const codegen::Emission threaded =
+      toolchain.emitC(result, trace, threadedOptions);
+
+  for (const codegen::SourceFile& file : sequential.files) {
+    if (file.name.rfind("tile", 0) != 0) continue;
+    EXPECT_EQ(file.contents, threaded.file(file.name).contents)
+        << tag << ": " << file.name << " must not depend on the exec mode";
+  }
+
+  const fs::path seqDir = compileEmission(sequential, tag + "_seq", false);
+  EXPECT_EQ(runProgram(seqDir, tag + "_seq"), expected) << tag;
+  fs::remove_all(seqDir);
+
+  const fs::path thrDir = compileEmission(threaded, tag + "_thr", true);
+  const int repeats = diffRepeat();
+  for (int run = 0; run < repeats; ++run) {
+    EXPECT_EQ(runProgram(thrDir, tag + "_thr"), expected)
+        << tag << ": threaded run " << run << " of " << repeats;
+  }
+  fs::remove_all(thrDir);
 }
 
 class CodegenDiffApps : public ::testing::TestWithParam<const char*> {};
@@ -140,7 +214,8 @@ INSTANTIATE_TEST_SUITE_P(Apps, CodegenDiffApps,
 TEST(CodegenDiffScenarios, TwentyFiveScenarioSlice) {
   // The same trimmed tool-chain configuration the batch evaluator uses,
   // over the default generator family (seed 1) — a 25-scenario slice of
-  // the argo_eval matrix, each with fresh random inputs.
+  // the argo_eval matrix, each with fresh random inputs, each proven in
+  // both execution modes.
   const scenarios::GeneratorOptions generator;
   const adl::Platform platform = adl::makeRecoreXentiumBus(4);
   const core::Toolchain toolchain(platform,

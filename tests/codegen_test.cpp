@@ -275,10 +275,10 @@ void argo_task_3(void) {
 
 
 const argo_slot argo_tile0_slots[4] = {
-    {0ll, 0, argo_task_0, NULL, 0, NULL, 0},
-    {186ll, 1, argo_task_1, NULL, 0, NULL, 0},
-    {372ll, 2, argo_task_2, NULL, 0, NULL, 0},
-    {558ll, 3, argo_task_3, NULL, 0, NULL, 0},
+    {0ll, 186ll, 0, argo_task_0, NULL, 0, NULL, 0},
+    {186ll, 372ll, 1, argo_task_1, NULL, 0, NULL, 0},
+    {372ll, 558ll, 2, argo_task_2, NULL, 0, NULL, 0},
+    {558ll, 824ll, 3, argo_task_3, NULL, 0, NULL, 0},
 };
 )C";
 
@@ -290,6 +290,173 @@ TEST(CodegenGolden, DiamondTileSource) {
   // the emitted-source contract changed — review docs/CODEGEN.md and the
   // recorded differential baselines before accepting it.
   EXPECT_EQ(emission.file("tile0.c").contents, kGoldenTile0);
+}
+
+// ------------------------------------------------- Execution modes
+
+TEST(CodegenExecModes, ThreadedEmissionIsBytePure) {
+  const DiamondProgram d = makeDiamondProgram();
+  const codegen::InputTrace trace = diamondTrace(*d.fn);
+  codegen::EmitOptions options;
+  options.mode = codegen::ExecMode::Threads;
+  options.runtimeAsserts = true;
+  const codegen::Emission a =
+      codegen::emitProgram(d.program, d.platform, {}, trace, options);
+  const codegen::Emission b =
+      codegen::emitProgram(d.program, d.platform, {}, trace, options);
+  ASSERT_EQ(a.files.size(), b.files.size());
+  for (std::size_t k = 0; k < a.files.size(); ++k) {
+    EXPECT_EQ(a.files[k].contents, b.files[k].contents) << a.files[k].name;
+  }
+}
+
+TEST(CodegenExecModes, TileUnitsDoNotDependOnMode) {
+  // Only program.h (the ARGO_EXEC_THREADS / ARGO_RUNTIME_ASSERTS defines)
+  // and main.c (the harness) may differ between modes — the per-tile
+  // translation units carry the same bytes, so WCET analysis of the task
+  // code is mode-independent.
+  const DiamondProgram d = makeDiamondProgram();
+  const codegen::InputTrace trace = diamondTrace(*d.fn);
+  codegen::EmitOptions threads;
+  threads.mode = codegen::ExecMode::Threads;
+  const codegen::Emission seq =
+      codegen::emitProgram(d.program, d.platform, {}, trace);
+  const codegen::Emission thr =
+      codegen::emitProgram(d.program, d.platform, {}, trace, threads);
+  EXPECT_EQ(seq.file("tile0.c").contents, thr.file("tile0.c").contents);
+  EXPECT_NE(seq.file("program.h").contents, thr.file("program.h").contents);
+  EXPECT_NE(seq.file("main.c").contents, thr.file("main.c").contents);
+  EXPECT_NE(thr.file("main.c").contents.find("pthread_create"),
+            std::string::npos);
+  EXPECT_EQ(seq.file("main.c").contents.find("pthread_create"),
+            std::string::npos);
+}
+
+// ------------------------------------------------- Negative paths
+
+/// Pinned-diagnostic helper: the emission must throw a ToolchainError
+/// whose message contains `needle` — a diagnostic, not malformed C.
+template <typename Fn>
+void expectDiagnostic(Fn&& fn, const std::string& needle) {
+  try {
+    (void)fn();
+    FAIL() << "expected ToolchainError containing \"" << needle << "\"";
+  } catch (const support::ToolchainError& error) {
+    EXPECT_NE(std::string(error.what()).find(needle), std::string::npos)
+        << "actual message: " << error.what();
+  }
+}
+
+TEST(CodegenNegative, EmptyTraceIsAPinnedDiagnostic) {
+  const DiamondProgram d = makeDiamondProgram();
+  expectDiagnostic(
+      [&] {
+        return codegen::emitProgram(d.program, d.platform, {},
+                                    codegen::InputTrace{});
+      },
+      "input trace is empty");
+}
+
+/// A one-task pipeline over int32 variables, for the width diagnostics:
+/// y = k + c with k an Input and c a Const.
+struct IntProgram {
+  std::unique_ptr<ir::Function> fn;
+  adl::Platform platform = adl::makeRecoreXentiumBus(2);
+  htg::TaskGraph graph;
+  par::ParallelProgram program;
+};
+
+IntProgram makeIntProgram() {
+  IntProgram d;
+  d.fn = std::make_unique<ir::Function>("intflow");
+  d.fn->declare("k", ir::Type::int32(), ir::VarRole::Input);
+  d.fn->declare("c", ir::Type::int32(), ir::VarRole::Const);
+  d.fn->declare("y", ir::Type::int32(), ir::VarRole::Output);
+  d.fn->body().append(
+      ir::assign(ir::ref("y"), ir::add(ir::var("k"), ir::var("c"))));
+  const htg::Htg htg = htg::buildHtg(*d.fn);
+  htg::ExpandOptions expand;
+  expand.chunksPerLoop = 1;
+  d.graph = htg::expand(htg, expand);
+  const auto timings = sched::computeTaskTimings(d.graph, d.platform);
+  const auto succ = d.graph.successors();
+  const auto pred = d.graph.predecessors();
+  const sched::SchedContext ctx{d.graph,  d.platform, timings,
+                                succ,     pred,       d.platform.coreCount()};
+  const sched::Schedule schedule =
+      sched::policyOrThrow("heft").run(ctx, sched::SchedOptions{});
+  d.program = par::buildParallelProgram(d.graph, schedule, d.platform);
+  return d;
+}
+
+ir::Value int32Value(std::int64_t v) {
+  ir::Value value = ir::Value::zeros(ir::Type::int32());
+  value.setInt(0, v);
+  return value;
+}
+
+TEST(CodegenNegative, TraceValueExceedingDeclaredWidthIsADiagnostic) {
+  const IntProgram d = makeIntProgram();
+  codegen::InputTrace trace;
+  ir::Environment env;
+  env.emplace("k", int32Value(3000000000ll));  // > INT32_MAX
+  trace.steps.push_back(std::move(env));
+  expectDiagnostic(
+      [&] { return codegen::emitProgram(d.program, d.platform, {}, trace); },
+      "exceeds the declared int32 width");
+}
+
+TEST(CodegenNegative, ConstantExceedingDeclaredWidthIsADiagnostic) {
+  const IntProgram d = makeIntProgram();
+  codegen::InputTrace trace;
+  ir::Environment env;
+  env.emplace("k", int32Value(1));
+  trace.steps.push_back(std::move(env));
+  ir::Environment constants;
+  constants.emplace("c", int32Value(-3000000000ll));  // < INT32_MIN
+  expectDiagnostic(
+      [&] {
+        return codegen::emitProgram(d.program, d.platform, constants, trace);
+      },
+      "exceeds the declared int32 width");
+}
+
+TEST(CodegenNegative, LiteralStoreExceedingDeclaredWidthIsADiagnostic) {
+  auto fn = typedFn();
+  codegen::Lowerer lowerer(*fn);
+  expectDiagnostic(
+      [&] {
+        return lowerer.lowerStmt(
+            *ir::assign(ir::ref("n"), ir::lit(3000000000ll)), 0);
+      },
+      "exceeds the declared int32 width");
+  expectDiagnostic(
+      [&] {
+        return lowerer.lowerStmt(*ir::assign(ir::ref("b"), ir::lit(200)), 0);
+      },
+      "exceeds the declared bool width");
+}
+
+TEST(CodegenNegative, SingleTileProgramEmitsNoChannels) {
+  // All four diamond tasks land on tile 0 under HEFT on the 2-tile bus —
+  // the single-tile case: the emission is pinned to carry exactly one
+  // tile unit, zero inter-tile channels, and a threaded build that still
+  // compiles (one worker thread, no condvar waits in any dispatch table).
+  const DiamondProgram d = makeDiamondProgram();
+  const codegen::InputTrace trace = diamondTrace(*d.fn);
+  codegen::EmitOptions threads;
+  threads.mode = codegen::ExecMode::Threads;
+  const codegen::Emission emission =
+      codegen::emitProgram(d.program, d.platform, {}, trace, threads);
+  EXPECT_EQ(emission.cUnits,
+            (std::vector<std::string>{"tile0.c", "main.c"}));
+  EXPECT_NE(
+      emission.file("program.h").contents.find("#define ARGO_EVENT_COUNT 0"),
+      std::string::npos);
+  EXPECT_EQ(emission.file("main.c").contents.find("argo_channels"),
+            std::string::npos);
+  EXPECT_EQ(emission.file("tile0.c").contents.find("argo_w_"),
+            std::string::npos);
 }
 
 }  // namespace

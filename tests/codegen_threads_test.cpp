@@ -1,0 +1,373 @@
+// Targeted runtime tests for the threaded execution mode's primitives,
+// compiled against the verbatim emitted runtime header
+// (codegen::runtimeHeader()) with the host C compiler:
+//
+//   - event channels: signal-before-wait never blocks, wait blocks until
+//     the signal and observes the payload the producer published;
+//   - the counted generation barrier survives reuse across many steps;
+//   - the watchdog turns an unposted wait (a corrupted dispatch table)
+//     into a loud exit 3, never a silent hang or reorder;
+//   - the runtime deadline asserts (--runtime-asserts) pass under the
+//     generous defaults and fire (exit 4) when the bounds are made
+//     impossibly tight via the environment;
+//   - a deliberately corrupted multi-tile emission (a signal count zeroed
+//     in a tile's slot table) deadlocks loudly via the watchdog, while
+//     the uncorrupted control build matches the IR evaluator.
+//
+// When the repo is built with ARGO_SANITIZE=thread (or ARGO_DIFF_TSAN is
+// set) every threaded binary here also runs under -fsanitize=thread.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "apps/registry.h"
+#include "codegen/codegen.h"
+#include "core/toolchain.h"
+
+#ifndef ARGO_HOST_CC
+#define ARGO_HOST_CC "cc"
+#endif
+
+namespace argo {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kCcFlags =
+    "-std=c11 -O1 -fno-strict-aliasing -Wall -Wextra -Werror";
+
+bool emittedTsan() {
+#ifdef ARGO_EMITTED_TSAN
+  return true;
+#else
+  return std::getenv("ARGO_DIFF_TSAN") != nullptr;
+#endif
+}
+
+fs::path makeTempDir(const std::string& tag) {
+  std::string templ =
+      (fs::temp_directory_path() / ("argo_rt_" + tag + "_XXXXXX")).string();
+  if (mkdtemp(templ.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp failed for " + templ);
+  }
+  return fs::path(templ);
+}
+
+std::string readFile(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+void writeFile(const fs::path& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out) << path;
+  out << contents;
+}
+
+struct RunResult {
+  int exitCode = -1;
+  std::string stdoutText;
+  std::string stderrText;
+};
+
+/// Runs `cmd` (already cd'ed into `dir` by the caller-provided prefix),
+/// capturing stdout via popen and stderr via a redirect file.
+RunResult runInDir(const fs::path& dir, const std::string& cmd) {
+  RunResult result;
+  const std::string full =
+      "cd '" + dir.string() + "' && { " + cmd + " ; } 2>stderr.log";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0) {
+    result.stdoutText.append(buf.data(), n);
+  }
+  const int status = pclose(pipe);
+  result.exitCode = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  result.stderrText = readFile(dir / "stderr.log");
+  return result;
+}
+
+/// Compiles the runtime header plus `driver` (a C main) in a fresh dir;
+/// returns the dir. `threaded` adds -pthread (+ TSan when configured).
+fs::path compileDriver(const std::string& tag, const std::string& driver,
+                       bool threaded) {
+  const fs::path dir = makeTempDir(tag);
+  writeFile(dir / "argo_rt.h", codegen::runtimeHeader());
+  writeFile(dir / "driver.c", driver);
+  std::string cc = std::string(ARGO_HOST_CC) + " " + kCcFlags;
+  if (threaded) {
+    cc += " -pthread";
+    if (emittedTsan()) cc += " -fsanitize=thread";
+  }
+  const RunResult build = runInDir(dir, cc + " -o prog driver.c -lm");
+  EXPECT_EQ(build.exitCode, 0) << tag << ": compile failed\n"
+                               << build.stderrText;
+  return dir;
+}
+
+/// The boilerplate every threaded driver must define (main.c normally
+/// provides these).
+constexpr const char* kThreadedPrelude = R"C(
+#define ARGO_EXEC_THREADS 1
+#include "argo_rt.h"
+
+unsigned char argo_events[4];
+pthread_mutex_t argo_ev_mu = PTHREAD_MUTEX_INITIALIZER;
+pthread_cond_t argo_ev_cv = PTHREAD_COND_INITIALIZER;
+long long argo_watchdog_ns = 10000000000ll;
+)C";
+
+TEST(RuntimeChannels, SignalBeforeWaitNeverBlocks) {
+  const std::string driver = std::string(kThreadedPrelude) + R"C(
+int main(void) {
+  argo_rt_init();
+  argo_signal(2);
+  argo_wait(2);  /* already posted: must return immediately */
+  return 0;
+}
+)C";
+  const fs::path dir = compileDriver("signal_first", driver, true);
+  const RunResult run = runInDir(dir, "./prog");
+  EXPECT_EQ(run.exitCode, 0) << run.stderrText;
+  fs::remove_all(dir);
+}
+
+TEST(RuntimeChannels, WaitBlocksUntilSignalAndSeesPayload) {
+  // The consumer must observe the payload the producer wrote before
+  // signalling — the happens-before edge the emitted channels rely on
+  // (and the access pattern TSan checks when enabled).
+  const std::string driver = std::string(kThreadedPrelude) + R"C(
+static long long payload;
+
+static void *consumer(void *opaque) {
+  (void)opaque;
+  argo_wait(0);
+  if (payload != 42) exit(9);
+  return NULL;
+}
+
+int main(void) {
+  pthread_t t;
+  struct timespec pause = {0, 100 * 1000 * 1000};
+  argo_rt_init();
+  if (pthread_create(&t, NULL, consumer, NULL) != 0) return 8;
+  nanosleep(&pause, NULL);  /* let the consumer reach the wait */
+  payload = 42;
+  argo_signal(0);
+  pthread_join(t, NULL);
+  return 0;
+}
+)C";
+  const fs::path dir = compileDriver("wait_blocks", driver, true);
+  const RunResult run = runInDir(dir, "./prog");
+  EXPECT_EQ(run.exitCode, 0) << run.stderrText;
+  fs::remove_all(dir);
+}
+
+TEST(RuntimeBarrier, SurvivesReuseAcrossManySteps) {
+  // Two workers + the coordinator cycle the same two barriers for 200
+  // steps — the exact protocol of the emitted threaded main.c. Each
+  // worker's per-step writes must be visible to the coordinator after
+  // the done barrier of every step.
+  const std::string driver = std::string(kThreadedPrelude) + R"C(
+enum { STEPS = 200 };
+
+static argo_barrier start_b = ARGO_BARRIER_INIT(3);
+static argo_barrier done_b = ARGO_BARRIER_INIT(3);
+static long long cells[2];
+
+static void *worker(void *opaque) {
+  const int id = (int)(long)opaque;
+  int step;
+  for (step = 0; step < STEPS; ++step) {
+    argo_barrier_wait(&start_b);
+    cells[id] += id + 1;
+    argo_barrier_wait(&done_b);
+  }
+  return NULL;
+}
+
+int main(void) {
+  pthread_t t0, t1;
+  int step;
+  argo_rt_init();
+  if (pthread_create(&t0, NULL, worker, (void *)0l) != 0) return 8;
+  if (pthread_create(&t1, NULL, worker, (void *)1l) != 0) return 8;
+  for (step = 0; step < STEPS; ++step) {
+    argo_barrier_wait(&start_b);
+    argo_barrier_wait(&done_b);
+    if (cells[0] != step + 1 || cells[1] != 2 * (step + 1)) exit(9);
+  }
+  pthread_join(t0, NULL);
+  pthread_join(t1, NULL);
+  return 0;
+}
+)C";
+  const fs::path dir = compileDriver("barrier_reuse", driver, true);
+  const RunResult run = runInDir(dir, "./prog");
+  EXPECT_EQ(run.exitCode, 0) << run.stderrText;
+  fs::remove_all(dir);
+}
+
+TEST(RuntimeWatchdog, UnpostedWaitTrapsLoudly) {
+  const std::string driver = std::string(kThreadedPrelude) + R"C(
+int main(void) {
+  argo_rt_init();
+  argo_wait(1);  /* never signalled: the watchdog must trap */
+  return 0;
+}
+)C";
+  const fs::path dir = compileDriver("watchdog", driver, true);
+  const RunResult run = runInDir(dir, "ARGO_WATCHDOG_NS=200000000 ./prog");
+  EXPECT_EQ(run.exitCode, 3) << run.stderrText;
+  EXPECT_NE(run.stderrText.find("watchdog"), std::string::npos)
+      << run.stderrText;
+  EXPECT_NE(run.stderrText.find("dispatch-table deadlock"), std::string::npos)
+      << run.stderrText;
+  fs::remove_all(dir);
+}
+
+TEST(RuntimeSequential, UnpostedWaitTrapsImmediately) {
+  // The sequential harness has no watchdog: a wait the static order has
+  // not satisfied is a schedule violation and traps at once.
+  const std::string driver = R"C(
+#include "argo_rt.h"
+unsigned char argo_events[2];
+int main(void) {
+  argo_wait(0);
+  return 0;
+}
+)C";
+  const fs::path dir = compileDriver("seq_unposted", driver, false);
+  const RunResult run = runInDir(dir, "./prog");
+  EXPECT_EQ(run.exitCode, 3) << run.stderrText;
+  EXPECT_NE(run.stderrText.find("schedule violation"), std::string::npos)
+      << run.stderrText;
+  fs::remove_all(dir);
+}
+
+TEST(RuntimeAsserts, PassUnderDefaultsAndFireWhenTight) {
+  const std::string driver = R"C(
+#define ARGO_RUNTIME_ASSERTS 1
+#include "argo_rt.h"
+
+unsigned char argo_events[1];
+long long argo_ns_per_cycle;
+long long argo_assert_slack_ns;
+long long argo_step_base_ns;
+
+static void work(void) {
+  struct timespec pause = {0, 50 * 1000 * 1000};
+  nanosleep(&pause, NULL);
+}
+
+static const argo_slot slot = {0ll, 1ll, 7, work, NULL, 0, NULL, 0};
+
+int main(void) {
+  argo_ns_per_cycle = argo_env_ns("ARGO_NS_PER_CYCLE", 10000ll);
+  argo_assert_slack_ns = argo_env_ns("ARGO_ASSERT_SLACK_NS", 2000000000ll);
+  argo_step_base_ns = argo_now_ns();
+  argo_run_slot(&slot);
+  return 0;
+}
+)C";
+  const fs::path dir = compileDriver("asserts", driver, false);
+  const RunResult pass = runInDir(dir, "./prog");
+  EXPECT_EQ(pass.exitCode, 0) << pass.stderrText;
+  // 1 ns per cycle, zero slack: a 50 ms slot cannot meet a 1-cycle
+  // deadline — the assert must exit 4 with the pinned message.
+  const RunResult fail =
+      runInDir(dir, "ARGO_NS_PER_CYCLE=1 ARGO_ASSERT_SLACK_NS=0 ./prog");
+  EXPECT_EQ(fail.exitCode, 4) << fail.stderrText;
+  EXPECT_NE(fail.stderrText.find("runtime assert"), std::string::npos)
+      << fail.stderrText;
+  fs::remove_all(dir);
+}
+
+// ------------------------------------------- Whole-program corruption
+
+/// Emits egpws on the 8-tile bus in threaded mode, returning the emission
+/// plus the evaluator's reference output for the recorded trace.
+struct EmittedApp {
+  codegen::Emission emission;
+  std::string reference;
+};
+
+EmittedApp emitThreadedEgpws() {
+  const adl::Platform platform = adl::makeRecoreXentiumBus(8);
+  const core::Toolchain toolchain(platform, core::ToolchainOptions{});
+  const core::ToolchainResult result =
+      toolchain.run(apps::buildAppDiagram("egpws"));
+  codegen::InputTrace trace;
+  ir::Environment env = ir::makeZeroEnvironment(*result.fn);
+  apps::setAppStepInputs("egpws", env, 0);
+  trace.steps.push_back(std::move(env));
+  codegen::EmitOptions options;
+  options.mode = codegen::ExecMode::Threads;
+  EmittedApp app;
+  app.reference =
+      codegen::referenceOutputs(*result.fn, result.constants, trace);
+  app.emission = toolchain.emitC(result, trace, options);
+  return app;
+}
+
+/// Zeroes the signal count of the first signalling slot in `tile` — the
+/// "dispatch-table corruption" fault: the producer runs but never posts,
+/// so every consumer's wait can only end via the watchdog.
+std::string corruptFirstSignalCount(const std::string& tile) {
+  const std::size_t name = tile.find(", argo_s_");
+  EXPECT_NE(name, std::string::npos) << "no signalling slot to corrupt";
+  if (name == std::string::npos) return tile;
+  const std::size_t comma = tile.find(',', name + 2);
+  const std::size_t brace = tile.find('}', comma);
+  std::string corrupted = tile;
+  corrupted.replace(comma + 1, brace - comma - 1, " 0");
+  return corrupted;
+}
+
+TEST(RuntimeWatchdog, CorruptedDispatchTableDeadlocksLoudly) {
+  const EmittedApp app = emitThreadedEgpws();
+
+  // Control: the uncorrupted threaded build matches the evaluator.
+  const fs::path dir = makeTempDir("corrupt");
+  codegen::writeSources(dir.string(), app.emission);
+  std::string cc = std::string(ARGO_HOST_CC) + " " + kCcFlags + " -pthread";
+  if (emittedTsan()) cc += " -fsanitize=thread";
+  std::string units;
+  for (const std::string& unit : app.emission.cUnits) units += " " + unit;
+  const RunResult build = runInDir(dir, cc + " -o prog" + units + " -lm");
+  ASSERT_EQ(build.exitCode, 0) << build.stderrText;
+  const RunResult control = runInDir(dir, "./prog");
+  EXPECT_EQ(control.exitCode, 0) << control.stderrText;
+  EXPECT_EQ(control.stdoutText, app.reference);
+
+  // Fault injection: zero one signal count, rebuild, run with a short
+  // watchdog. The run must end in exit 3 with the deadlock diagnostic —
+  // never exit 0, never a silent reorder of the schedule.
+  writeFile(dir / "tile0.c",
+            corruptFirstSignalCount(app.emission.file("tile0.c").contents));
+  const RunResult rebuild =
+      runInDir(dir, cc + " -o prog_bad" + units + " -lm");
+  ASSERT_EQ(rebuild.exitCode, 0) << rebuild.stderrText;
+  const RunResult corrupted =
+      runInDir(dir, "ARGO_WATCHDOG_NS=300000000 ./prog_bad");
+  EXPECT_EQ(corrupted.exitCode, 3) << corrupted.stderrText;
+  EXPECT_NE(corrupted.stderrText.find("watchdog"), std::string::npos)
+      << corrupted.stderrText;
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace argo

@@ -151,5 +151,58 @@ TEST(ParallelFor, PooledUseFromAPlainThreadIsAllowedAfterATask) {
   EXPECT_EQ(count.load(), 4);
 }
 
+// ------------------------------------------------- Oversubscription
+// The determinism contract with threads ≫ hardware cores: per-index
+// results, the propagated exception, and the nested-pool rejection must
+// all be independent of how the OS schedules the oversubscribed workers.
+// Repeat-until loops explore many interleavings per test.
+
+TEST(ParallelForOversubscribed, PerIndexResultsAreIdenticalAcrossRuns) {
+  constexpr std::size_t kN = 300;
+  std::vector<long> expected(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    expected[i] = static_cast<long>(i * i);
+  }
+  for (int run = 0; run < 15; ++run) {
+    std::vector<long> out(kN, -1);
+    parallelFor(kN, 64, [&](std::size_t i) {
+      out[i] = static_cast<long>(i * i);
+    });
+    EXPECT_EQ(out, expected) << "run " << run;
+  }
+}
+
+TEST(ParallelForOversubscribed, LowestFailingIndexWinsUnderContention) {
+  for (int run = 0; run < 10; ++run) {
+    try {
+      parallelFor(200, 64, [](std::size_t i) {
+        if (i >= 100) {  // half the range fails; 100 is the lowest
+          throw ToolchainError("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ToolchainError";
+    } catch (const ToolchainError& e) {
+      EXPECT_STREQ(e.what(), "boom at 100") << "run " << run;
+    }
+  }
+}
+
+TEST(ParallelForOversubscribed, NestedPoolRejectionHoldsOnEveryWorker) {
+  // All 64 task bodies attempt a pooled inner loop; each must be
+  // rejected — contention must not let one slip through the guard.
+  std::atomic<int> rejected{0};
+  EXPECT_THROW(parallelFor(64, 64,
+                           [&](std::size_t) {
+                             try {
+                               parallelFor(2, 2, [](std::size_t) {});
+                             } catch (const ToolchainError&) {
+                               rejected.fetch_add(1);
+                               throw;
+                             }
+                           }),
+               ToolchainError);
+  EXPECT_EQ(rejected.load(), 64);
+}
+
 }  // namespace
 }  // namespace argo::support

@@ -110,6 +110,56 @@ TEST(ThreadPool, PoolReuseAcrossManyRuns) {
   }
 }
 
+// ------------------------------------------------- Oversubscription
+// The pool's contracts must hold when workers far outnumber hardware
+// cores (threads ≫ cores forces constant preemption — the interleavings
+// a right-sized pool rarely produces). Repeat-until loops shake out
+// scheduling orders; counts and propagated exceptions must never vary.
+
+TEST(ThreadPoolOversubscribed, CoverageAndReductionStayExactAcrossRuns) {
+  ThreadPool pool(64);
+  EXPECT_EQ(pool.size(), 64u);
+  for (int run = 0; run < 20; ++run) {
+    std::vector<std::atomic<int>> hits(512);
+    std::atomic<long> sum{0};
+    pool.parallelFor(512, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      sum.fetch_add(static_cast<long>(i));
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "run " << run << " index " << i;
+    }
+    EXPECT_EQ(sum.load(), 512L * 511L / 2L) << "run " << run;
+  }
+}
+
+TEST(ThreadPoolOversubscribed, LowestFailingIndexStillWins) {
+  ThreadPool pool(32);
+  for (int run = 0; run < 10; ++run) {
+    try {
+      pool.parallelFor(256, [](std::size_t i) {
+        if (i % 9 == 2) {  // lowest failing index is 2
+          throw ToolchainError("boom at " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected ToolchainError";
+    } catch (const ToolchainError& e) {
+      EXPECT_STREQ(e.what(), "boom at 2") << "run " << run;
+    }
+  }
+}
+
+TEST(ThreadPoolOversubscribed, BackToBackPoolsConstructAndDrainCleanly) {
+  // Construction/teardown churn: every iteration spins up a fresh
+  // oversubscribed pool, runs one batch, and joins all 48 workers.
+  for (int run = 0; run < 8; ++run) {
+    ThreadPool pool(48);
+    std::atomic<int> count{0};
+    pool.parallelFor(100, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 100) << "run " << run;
+  }
+}
+
 TEST(ThreadPool, StressRandomProgramsPooledMatchesSequential) {
   // Evaluate 24 generated programs sequentially and on the pool; each
   // evaluation is independent, so the pooled outputs must be identical.

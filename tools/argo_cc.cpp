@@ -23,9 +23,16 @@
 //   --emit-c DIR        emit the scheduled program as compilable C into DIR
 //                       (argo_rt.h, program.h, tile<t>.c, main.c — see
 //                       docs/CODEGEN.md; build with
-//                       `cc -std=c11 -O1 -fno-strict-aliasing *.c -lm`)
+//                       `cc -std=c11 -O1 -fno-strict-aliasing *.c -lm`,
+//                       plus -pthread for --exec-mode threads)
 //   --emit-steps N      steps of recorded inputs the emitted harness
 //                       replays (default 3)
+//   --exec-mode MODE    seq | threads — how the emitted main.c runs the
+//                       dispatch tables: merged in-order replay, or one
+//                       pthread per tile (default seq)
+//   --runtime-asserts   emit per-slot checks of the scheduled start/finish
+//                       cycles against a monotonic step-relative clock
+//                       (violation exits 4; see docs/CODEGEN.md)
 //   --report LIST       comma list: summary,gantt,mhp,bottlenecks,code:TILE
 //                       (default summary)
 #include <cmath>
@@ -61,6 +68,8 @@ struct Options {
   int simulate = 0;
   std::string emitDir;
   int emitSteps = 3;
+  codegen::ExecMode execMode = codegen::ExecMode::Sequential;
+  bool runtimeAsserts = false;
   std::vector<std::string> reports = {"summary"};
 };
 
@@ -71,7 +80,8 @@ struct Options {
                "          [--adl FILE] [--policy heft|bnb|annealed|oblivious]"
                " [--chunks N]\n"
                "          [--no-spm] [--no-transforms] [--simulate N]\n"
-               "          [--emit-c DIR] [--emit-steps N]\n"
+               "          [--emit-c DIR] [--emit-steps N]"
+               " [--exec-mode seq|threads] [--runtime-asserts]\n"
                "          [--report summary,gantt,mhp,bottlenecks,code:TILE]\n",
                argv0);
   std::exit(2);
@@ -96,6 +106,17 @@ Options parseArgs(int argc, char** argv) {
     else if (arg == "--simulate") options.simulate = std::stoi(value(i));
     else if (arg == "--emit-c") options.emitDir = value(i);
     else if (arg == "--emit-steps") options.emitSteps = std::stoi(value(i));
+    else if (arg == "--exec-mode") {
+      const std::string mode = value(i);
+      if (mode == "seq") options.execMode = codegen::ExecMode::Sequential;
+      else if (mode == "threads") options.execMode = codegen::ExecMode::Threads;
+      else {
+        std::fprintf(stderr, "unknown --exec-mode '%s' (seq|threads)\n",
+                     mode.c_str());
+        std::exit(2);
+      }
+    }
+    else if (arg == "--runtime-asserts") options.runtimeAsserts = true;
     else if (arg == "--report") options.reports = support::split(value(i), ',');
     else usage(argv[0]);
   }
@@ -187,11 +208,18 @@ int main(int argc, char** argv) {
                                static_cast<std::uint64_t>(step));
         trace.steps.push_back(std::move(env));
       }
-      const codegen::Emission emission = toolchain.emitC(result, trace);
+      codegen::EmitOptions emitOptions;
+      emitOptions.mode = options.execMode;
+      emitOptions.runtimeAsserts = options.runtimeAsserts;
+      const codegen::Emission emission =
+          toolchain.emitC(result, trace, emitOptions);
       codegen::writeSources(options.emitDir, emission);
-      std::printf("emitted %zu files (%zu C units) to %s\n",
+      std::printf("emitted %zu files (%zu C units) to %s [%s]\n",
                   emission.files.size(), emission.cUnits.size(),
-                  options.emitDir.c_str());
+                  options.emitDir.c_str(),
+                  options.execMode == codegen::ExecMode::Threads
+                      ? "exec-mode threads"
+                      : "exec-mode seq");
     }
 
     if (options.simulate > 0) {
