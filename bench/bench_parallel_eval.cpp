@@ -1,10 +1,18 @@
 // Infrastructure bench: sequential vs. pooled scenario batch evaluation
-// (scenarios::runEval, the engine behind tools/argo_eval). Times both
-// paths over a small scenario x policy matrix and verifies the rendered
-// JSON report is byte-identical — the per-unit slots plus ladder-order
-// assembly make the batch independent of how units interleave.
-// `--json` emits the same rows as one machine-readable JSON document.
+// (scenarios::runEval, the engine behind tools/argo_eval), under both
+// execution engines. The matrix8 rows time sequential vs. pooled for the
+// barrier executor (one flat parallelFor over fused units) and for the
+// TaskGraph executor (per-stage nodes, stages overlap across scenarios);
+// the matrix50 row races the two pooled engines head to head on the CI
+// 50-scenario matrix — its "speedup" column is barrier-over-graph wall
+// clock. Every row also verifies the rendered JSON reports are
+// byte-identical across engines and thread counts — the per-unit slots
+// plus ladder-order assembly make the batch independent of how units
+// interleave, and the barrier path doubles as the differential oracle for
+// the graph path. `--json` emits the same rows as one machine-readable
+// JSON document.
 #include <chrono>
+#include <string>
 #include <thread>
 
 #include "common.h"
@@ -14,6 +22,16 @@
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// One timed runEval: renders the report and adds the wall time to *ms.
+std::string timedEval(const argo::scenarios::EvalOptions& options,
+                      double& ms) {
+  const auto begin = Clock::now();
+  const std::string json = argo::scenarios::runEval(options).toJson();
+  ms = std::chrono::duration<double, std::milli>(Clock::now() - begin)
+           .count();
+  return json;
+}
 
 }  // namespace
 
@@ -33,28 +51,56 @@ int main(int argc, char** argv) {
     argo::bench::printHeader(
         "bench_parallel_eval: pooled scenario batch evaluation",
         "independent (scenario x policy) units run concurrently, "
-        "byte-identical JSON report");
+        "byte-identical JSON report under both executors");
     std::printf("hardware threads: %u (speedup needs >= 4)\n", hw);
+    std::printf("matrix50/b_vs_g: seq(ms) = barrier pooled, pooled(ms) = "
+                "graph pooled\n");
   }
 
-  const std::size_t units =
-      static_cast<std::size_t>(options.scenarioCount) *
+  const std::size_t policyCount =
       argo::sched::registeredPolicyNames().size();
+  const std::size_t units8 =
+      static_cast<std::size_t>(options.scenarioCount) * policyCount;
 
+  // matrix8/barrier: the classic sequential-vs-pooled row.
+  options.executor = argo::scenarios::EvalExecutor::Barrier;
   options.threads = 1;
-  auto begin = Clock::now();
-  const std::string sequential =
-      argo::scenarios::runEval(options).toJson();
-  const double seqMs =
-      std::chrono::duration<double, std::milli>(Clock::now() - begin).count();
-
+  double barrierSeqMs = 0.0;
+  const std::string barrierSeq = timedEval(options, barrierSeqMs);
   options.threads = 0;  // one worker per hardware thread
-  begin = Clock::now();
-  const std::string pooled = argo::scenarios::runEval(options).toJson();
-  const double pooledMs =
-      std::chrono::duration<double, std::milli>(Clock::now() - begin).count();
-
+  double barrierPooledMs = 0.0;
+  const std::string barrierPooled = timedEval(options, barrierPooledMs);
   report.addRow(argo::bench::ParallelBenchRow{
-      "matrix", "eval", units, seqMs, pooledMs, sequential == pooled});
+      "matrix8", "barrier", units8, barrierSeqMs, barrierPooledMs,
+      barrierSeq == barrierPooled});
+
+  // matrix8/graph: same matrix on the TaskGraph engine; "identical" here
+  // means identical to the *barrier* reference, not merely self-consistent.
+  options.executor = argo::scenarios::EvalExecutor::Graph;
+  options.threads = 1;
+  double graphSeqMs = 0.0;
+  const std::string graphSeq = timedEval(options, graphSeqMs);
+  options.threads = 0;
+  double graphPooledMs = 0.0;
+  const std::string graphPooled = timedEval(options, graphPooledMs);
+  report.addRow(argo::bench::ParallelBenchRow{
+      "matrix8", "graph", units8, graphSeqMs, graphPooledMs,
+      graphSeq == barrierSeq && graphPooled == barrierSeq});
+
+  // matrix50/b_vs_g: the two pooled engines head to head on the same
+  // 50-scenario matrix CI evaluates (seed 7). seq_ms carries the barrier
+  // time and pooled_ms the graph time, so "speedup" reads as
+  // barrier-over-graph — the executor's headline number.
+  options.scenarioCount = 50;
+  options.executor = argo::scenarios::EvalExecutor::Barrier;
+  double wideBarrierMs = 0.0;
+  const std::string wideBarrier = timedEval(options, wideBarrierMs);
+  options.executor = argo::scenarios::EvalExecutor::Graph;
+  double wideGraphMs = 0.0;
+  const std::string wideGraph = timedEval(options, wideGraphMs);
+  report.addRow(argo::bench::ParallelBenchRow{
+      "matrix50", "b_vs_g", 50 * policyCount, wideBarrierMs, wideGraphMs,
+      wideBarrier == wideGraph});
+
   return report.finish();
 }

@@ -5,11 +5,13 @@
 #include <cstdarg>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <utility>
 
 #include "sched/policy.h"
 #include "sim/simulator.h"
 #include "support/diagnostics.h"
+#include "support/graph.h"
 #include "support/parallel.h"
 #include "support/rng.h"
 
@@ -34,9 +36,14 @@ void setRandomInputs(const ir::Function& fn, ir::Environment& env,
   }
 }
 
-/// One (scenario, policy) unit: full tool-chain run plus simulator check.
-PolicyOutcome runUnit(const Scenario& scenario, const adl::Platform& platform,
-                      const std::string& policy, const EvalOptions& options) {
+/// Tool-chain stage of one (scenario, policy) unit. The finished
+/// ToolchainResult is parked in `keep` for the simulator stage (a separate
+/// node on the graph executor), which consumes and releases it.
+PolicyOutcome runToolchainStage(const Scenario& scenario,
+                                const adl::Platform& platform,
+                                const std::string& policy,
+                                const EvalOptions& options,
+                                std::optional<core::ToolchainResult>& keep) {
   const auto begin = std::chrono::steady_clock::now();
 
   core::ToolchainOptions toolchainOptions = options.toolchain;
@@ -47,7 +54,8 @@ PolicyOutcome runUnit(const Scenario& scenario, const adl::Platform& platform,
   toolchainOptions.sched.parallelThreads = 1;
 
   const core::Toolchain toolchain(platform, toolchainOptions);
-  const core::ToolchainResult result = toolchain.run(scenario.model);
+  keep = toolchain.run(scenario.model);
+  const core::ToolchainResult& result = *keep;
 
   PolicyOutcome outcome;
   outcome.policy = policy;
@@ -57,6 +65,23 @@ PolicyOutcome runUnit(const Scenario& scenario, const adl::Platform& platform,
   outcome.chosenChunks = result.chosenChunks;
   outcome.sequentialWcet = result.sequentialWcet;
   outcome.bound = result.system.makespan;
+
+  const auto end = std::chrono::steady_clock::now();
+  outcome.wallMs =
+      std::chrono::duration<double, std::milli>(end - begin).count();
+  return outcome;
+}
+
+/// Simulator stage of one unit: probes the bound of the parked toolchain
+/// result with seeded random inputs, then releases the result. Both
+/// executors run the identical stage code, so the outcomes (and hence the
+/// rendered report) match byte for byte.
+void runSimStage(const Scenario& scenario, const adl::Platform& platform,
+                 const EvalOptions& options,
+                 std::optional<core::ToolchainResult>& keep,
+                 PolicyOutcome& outcome) {
+  const auto begin = std::chrono::steady_clock::now();
+  const core::ToolchainResult& result = *keep;
 
   if (options.simTrials > 0) {
     const sim::Simulator simulator(result.program, platform);
@@ -72,9 +97,20 @@ PolicyOutcome runUnit(const Scenario& scenario, const adl::Platform& platform,
     }
   }
 
+  keep.reset();  // the unit's heavyweight state dies with its last stage
   const auto end = std::chrono::steady_clock::now();
-  outcome.wallMs =
+  outcome.wallMs +=
       std::chrono::duration<double, std::milli>(end - begin).count();
+}
+
+/// One fused (scenario, policy) unit of the barrier executor: both stages
+/// back to back on the same worker.
+PolicyOutcome runUnit(const Scenario& scenario, const adl::Platform& platform,
+                      const std::string& policy, const EvalOptions& options) {
+  std::optional<core::ToolchainResult> keep;
+  PolicyOutcome outcome =
+      runToolchainStage(scenario, platform, policy, options, keep);
+  runSimStage(scenario, platform, options, keep, outcome);
   return outcome;
 }
 
@@ -148,32 +184,85 @@ EvalReport runEval(const EvalOptions& options) {
     (void)sched::policyOrThrow(policy);
   }
 
-  const std::vector<PlatformCase> sweep = buildPlatformSweep(options.sweep);
+  const std::size_t scenarioCount =
+      static_cast<std::size_t>(options.scenarioCount);
   const std::size_t policyCount = report.policies.size();
-  const std::size_t units =
-      static_cast<std::size_t>(options.scenarioCount) * policyCount;
+  const std::size_t units = scenarioCount * policyCount;
 
-  // Pooled phase: every (scenario, policy) unit writes its own slot. Units
-  // regenerate their scenario locally — generation is cheap and keeps the
-  // units free of shared mutable state; the sweep and options are
-  // read-only.
+  // Every stage writes its own slot; the assembly below reads them
+  // strictly in unit order. Which executor filled them is invisible to the
+  // report — that is the executor-differential guarantee.
   std::vector<PolicyOutcome> slots(units);
-  support::parallelFor(units, options.threads, [&](std::size_t unit) {
-    const int scenarioIndex = static_cast<int>(unit / policyCount);
-    const std::string& policy = report.policies[unit % policyCount];
-    const Scenario scenario =
-        generateScenario(options.generator, scenarioIndex);
-    const PlatformCase& platformCase =
-        sweep[static_cast<std::size_t>(scenarioIndex) % sweep.size()];
-    slots[unit] = runUnit(scenario, platformCase.platform, policy, options);
-  });
+  std::vector<Scenario> scenarioSlots(scenarioCount);
+  std::vector<PlatformCase> sweep;
+
+  if (options.executor == EvalExecutor::Barrier) {
+    // Flat pooled phase over fused units. Units regenerate their scenario
+    // locally — generation is cheap and keeps the units free of shared
+    // mutable state; the sweep and options are read-only.
+    sweep = buildPlatformSweep(options.sweep);
+    support::parallelFor(units, options.threads, [&](std::size_t unit) {
+      const int scenarioIndex = static_cast<int>(unit / policyCount);
+      const std::string& policy = report.policies[unit % policyCount];
+      const Scenario scenario =
+          generateScenario(options.generator, scenarioIndex);
+      const PlatformCase& platformCase =
+          sweep[static_cast<std::size_t>(scenarioIndex) % sweep.size()];
+      slots[unit] = runUnit(scenario, platformCase.platform, policy, options);
+    });
+    for (std::size_t s = 0; s < scenarioCount; ++s) {
+      // Metadata for the assembly (cheap) — the outcomes are in slots.
+      scenarioSlots[s] = generateScenario(options.generator,
+                                          static_cast<int>(s));
+    }
+  } else {
+    // Dependency-graph execution (support/graph.h): the platform-sweep
+    // build and each scenario's generation are shared upstream nodes, and
+    // each unit is a toolchain-stage node feeding a simulator-stage node.
+    // Scenario A's simulation overlaps scenario B's toolchain stage —
+    // there is no batch-wide rendezvous until the sinks.
+    std::vector<std::optional<core::ToolchainResult>> parked(units);
+    support::TaskGraph graph;
+    const auto sweepNode = graph.addNode(
+        "platform_sweep", [&] { sweep = buildPlatformSweep(options.sweep); });
+    std::vector<support::TaskGraph::NodeId> scenarioNodes(scenarioCount);
+    for (std::size_t s = 0; s < scenarioCount; ++s) {
+      scenarioNodes[s] =
+          graph.addNode("scenario/" + std::to_string(s), [&, s] {
+            scenarioSlots[s] =
+                generateScenario(options.generator, static_cast<int>(s));
+          });
+    }
+    for (std::size_t s = 0; s < scenarioCount; ++s) {
+      for (std::size_t p = 0; p < policyCount; ++p) {
+        const std::size_t unit = s * policyCount + p;
+        const std::string& policy = report.policies[p];
+        const auto toolchainNode = graph.addNode(
+            "toolchain/" + std::to_string(s) + "/" + policy, [&, s, unit] {
+              const PlatformCase& platformCase = sweep[s % sweep.size()];
+              slots[unit] = runToolchainStage(
+                  scenarioSlots[s], platformCase.platform,
+                  report.policies[unit % policyCount], options, parked[unit]);
+            });
+        graph.addEdge(sweepNode, toolchainNode);
+        graph.addEdge(scenarioNodes[s], toolchainNode);
+        const auto simNode = graph.addNode(
+            "sim/" + std::to_string(s) + "/" + policy, [&, s, unit] {
+              const PlatformCase& platformCase = sweep[s % sweep.size()];
+              runSimStage(scenarioSlots[s], platformCase.platform, options,
+                          parked[unit], slots[unit]);
+            });
+        graph.addEdge(toolchainNode, simNode);
+      }
+    }
+    graph.run(options.threads);
+  }
 
   // Ladder-order assembly: strictly in unit order, strict < for the
   // winner, so the report is identical however the units were executed.
-  report.scenarios.reserve(static_cast<std::size_t>(options.scenarioCount));
+  report.scenarios.reserve(scenarioCount);
   for (int s = 0; s < options.scenarioCount; ++s) {
-    // Regenerate the metadata only (cheap) — the outcomes are in slots.
-    const Scenario scenario = generateScenario(options.generator, s);
+    const Scenario& scenario = scenarioSlots[static_cast<std::size_t>(s)];
     const PlatformCase& platformCase =
         sweep[static_cast<std::size_t>(s) % sweep.size()];
     ScenarioResult row;

@@ -8,15 +8,22 @@
 // source of the repo's perf trajectory: tools/argo_eval drives it from the
 // CLI and CI uploads its JSON report per PR.
 //
-// Parallelism and determinism: the (scenario x policy) units are
-// independent, so the batch runs through the shared support::parallelFor
-// layer. Each unit regenerates its scenario from the seed (self-contained,
-// no shared mutable state), writes its outcome into its own slot, and the
-// report is assembled strictly in unit order afterwards — so the report is
+// Parallelism and determinism: by default the batch runs on the
+// support::TaskGraph dependency-graph executor (support/graph.h). The
+// platform-sweep build and each scenario's generation are shared upstream
+// nodes; every (scenario, policy) unit then runs as a toolchain-stage node
+// followed by a simulator-stage node, with edges only on those true data
+// dependences — so independent chains overlap instead of rendezvousing at
+// a batch-wide barrier. Every stage writes into its own slot and the
+// report is assembled strictly in unit order afterwards, so the report is
 // bit-identical for any thread count (the ladder-order rule of
-// docs/ARCHITECTURE.md). toJson() uses fixed formatting; byte-identical
+// docs/ARCHITECTURE.md) *and* byte-identical to the retained
+// EvalExecutor::Barrier path (one flat parallelFor over fused units),
+// which serves as the built-in differential oracle (tests/eval_test.cpp,
+// bench_parallel_eval). toJson() uses fixed formatting; byte-identical
 // values make byte-identical documents, which CI checks by diffing a
-// --threads 1 run against a --threads 8 run.
+// --threads 1 run against a --threads 8 run and a --executor barrier run
+// against the graph default.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,23 @@ using adl::Cycles;
 /// the EvalOptions::toolchain default — override fields freely.
 [[nodiscard]] core::ToolchainOptions defaultEvalToolchainOptions();
 
+/// Which execution engine drives the batch. Both produce byte-identical
+/// reports for any thread count; they differ only in how the independent
+/// work overlaps (and hence in wall time).
+enum class EvalExecutor {
+  /// One flat support::parallelFor over fused (scenario x policy) units:
+  /// each unit regenerates its scenario and runs toolchain + simulator
+  /// back to back, and the whole batch rendezvouses once at the end. The
+  /// pre-TaskGraph implementation, retained as the differential oracle
+  /// for the graph path.
+  Barrier,
+  /// support::TaskGraph (the default): shared platform-sweep and
+  /// per-scenario generation nodes feed per-unit toolchain-stage and
+  /// simulator-stage nodes, so scenario A's simulation can run while
+  /// scenario B is still in its toolchain stage.
+  Graph,
+};
+
 /// Configuration of one batch run.
 struct EvalOptions {
   /// Workload axis (the generator's seed is the batch seed).
@@ -54,6 +78,9 @@ struct EvalOptions {
   /// (0 = hardware threads, 1 = sequential; default 1). The report is
   /// bit-identical for any value.
   int threads = 1;
+  /// Execution engine (default Graph; Barrier is the differential
+  /// oracle). The report is byte-identical either way.
+  EvalExecutor executor = EvalExecutor::Graph;
   /// Simulator probes per (scenario, policy) run, each from an
   /// independently seeded random input (count, default 3; 0 skips the
   /// simulator check entirely — observed/tightness read as 0).

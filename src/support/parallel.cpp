@@ -10,22 +10,28 @@ namespace argo::support {
 
 namespace {
 
-// Set while the current thread executes a parallelFor task body (on a pool
-// worker or on the calling thread when it helps / runs inline).
+// Set while the current thread executes a pooled task body — a parallelFor
+// index or a TaskGraph node — on a pool worker or on the calling thread
+// when it helps / runs inline.
 thread_local bool tlInParallelTask = false;
 
-struct TaskScope {
-  // Restores (not clears) the previous value: an inline parallelFor nested
-  // inside a pooled task must leave the task flag set for the rest of the
-  // enclosing task, or the no-nested-pools guard would be disabled.
-  bool previous;
-  TaskScope() noexcept : previous(tlInParallelTask) {
-    tlInParallelTask = true;
-  }
-  ~TaskScope() noexcept { tlInParallelTask = previous; }
-};
+// Restores (not clears) the previous value: an inline parallelFor nested
+// inside a pooled task must leave the task flag set for the rest of the
+// enclosing task, or the no-nested-pools guard would be disabled.
+using TaskScope = detail::ParallelTaskScope;
 
 }  // namespace
+
+namespace detail {
+
+ParallelTaskScope::ParallelTaskScope() noexcept
+    : previous_(tlInParallelTask) {
+  tlInParallelTask = true;
+}
+
+ParallelTaskScope::~ParallelTaskScope() { tlInParallelTask = previous_; }
+
+}  // namespace detail
 
 unsigned effectiveParallelism(int threads, std::size_t n) {
   unsigned resolved = threads > 0 ? static_cast<unsigned>(threads)

@@ -20,14 +20,18 @@
 //    pruning (see shared_incumbent.h for why that preserves determinism);
 //    results themselves always go through slots.
 //  * Pools do not nest: requesting a pooled run (resolved parallelism > 1)
-//    from inside a parallelFor task throws ToolchainError. Inner phases
-//    invoked from a pooled outer phase must pass threads = 1, which runs
-//    inline and is always allowed (core::Toolchain does exactly this for
-//    the scheduler it runs per candidate).
+//    from inside a parallelFor task — or from inside a TaskGraph node —
+//    throws ToolchainError. Inner phases invoked from a pooled outer phase
+//    must pass threads = 1, which runs inline and is always allowed
+//    (core::Toolchain does exactly this for the scheduler it runs per
+//    candidate).
 //  * Each pooled call owns a transient ThreadPool (spawned on entry,
 //    joined before return); the layer is shared, the pool is not. One
 //    phase therefore owns the whole thread budget at a time, and nothing
-//    outlives the call.
+//    outlives the call. Exactly two entry points may own it:
+//    parallelFor for index-space phases and support::TaskGraph::run
+//    (support/graph.h) for dependency-graph phases — both enforce the
+//    same no-nesting rule through the shared task-scope flag below.
 #pragma once
 
 #include <cstddef>
@@ -52,5 +56,26 @@ namespace argo::support {
 /// requested from inside another parallelFor task.
 void parallelFor(std::size_t n, int threads,
                  const std::function<void(std::size_t)>& fn);
+
+namespace detail {
+
+/// RAII marker for "this thread is executing a pooled task body". Sets the
+/// thread-local flag behind inParallelTask() on construction and restores
+/// (not clears) the previous value on destruction, so inline nesting keeps
+/// the guard armed. Internal to the two sanctioned pool owners —
+/// parallelFor and support::TaskGraph::run; phase code must not use it to
+/// smuggle extra pool owners past the no-nested-pools rule.
+class ParallelTaskScope {
+ public:
+  ParallelTaskScope() noexcept;
+  ~ParallelTaskScope();
+  ParallelTaskScope(const ParallelTaskScope&) = delete;
+  ParallelTaskScope& operator=(const ParallelTaskScope&) = delete;
+
+ private:
+  bool previous_;
+};
+
+}  // namespace detail
 
 }  // namespace argo::support

@@ -1,6 +1,8 @@
 // Batch-evaluator suite: thread-count determinism of the argo_eval
-// report, the policy-matrix smoke check (every registered policy schedules
-// every generated scenario, no unexpected fallbacks), and the JSON shape.
+// report, the graph-vs-barrier executor differential (the TaskGraph path
+// must reproduce the barrier path byte for byte), the policy-matrix smoke
+// check (every registered policy schedules every generated scenario, no
+// unexpected fallbacks), and the JSON shape.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -34,45 +36,78 @@ TEST(EvalDeterminism, ReportIsByteIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(EvalPolicyMatrix, EveryRegisteredPolicySchedulesEveryScenario) {
-  scenarios::EvalOptions options = smallBatch();
-  options.scenarioCount = 6;
-  const scenarios::EvalReport report = scenarios::runEval(options);
+TEST(EvalDeterminism, GraphExecutorMatchesBarrierByteForByte) {
+  // The executor differential: the TaskGraph pipeline (stages overlap
+  // across scenarios) must reproduce the pre-existing barrier report byte
+  // for byte, at every thread count. A wider slice than smallBatch() so
+  // the graph crosses every platform case several times and both
+  // executors hit the fallback paths.
+  scenarios::EvalOptions barrier = smallBatch();
+  barrier.scenarioCount = 25;
+  barrier.executor = scenarios::EvalExecutor::Barrier;
+  barrier.threads = 8;
+  const std::string reference = scenarios::runEval(barrier).toJson();
 
-  // All registered policies took part.
-  EXPECT_EQ(report.policies, sched::registeredPolicyNames());
-  ASSERT_EQ(report.scenarios.size(), 6u);
-  for (const scenarios::ScenarioResult& row : report.scenarios) {
-    ASSERT_EQ(row.outcomes.size(), report.policies.size());
-    adl::Cycles bestBound = 0;
-    std::string bestPolicy;
-    for (const scenarios::PolicyOutcome& outcome : row.outcomes) {
-      // Scheduled for real: tasks placed, a positive bound, and the
-      // simulator stayed within it.
-      EXPECT_GT(outcome.tasks, 0) << row.scenario << "/" << outcome.policy;
-      EXPECT_GT(outcome.bound, 0) << row.scenario << "/" << outcome.policy;
-      EXPECT_TRUE(outcome.simSafe) << row.scenario << "/" << outcome.policy;
-      // The schedule label must belong to the requested policy...
-      EXPECT_EQ(outcome.scheduleLabel.rfind(outcome.policy, 0), 0u)
-          << row.scenario << ": asked for " << outcome.policy << ", got "
-          << outcome.scheduleLabel;
-      // ...and the HEFT fallback may fire only where it is *expected*:
-      // graphs beyond the exact search's task cap.
-      if (outcome.scheduleLabel.find("fallback") != std::string::npos) {
-        EXPECT_FALSE(sched::bnbExactSearchFeasible(
-            static_cast<std::size_t>(outcome.tasks),
-            options.toolchain.sched))
-            << row.scenario << ": fell back at " << outcome.tasks
-            << " tasks, within the exact-search cap";
-      }
-      if (bestPolicy.empty() || outcome.bound < bestBound) {
-        bestPolicy = outcome.policy;
-        bestBound = outcome.bound;
-      }
-    }
-    EXPECT_EQ(row.winner, bestPolicy) << row.scenario;
+  scenarios::EvalOptions graph = barrier;
+  graph.executor = scenarios::EvalExecutor::Graph;
+  for (int threads : {1, 3, 8}) {
+    graph.threads = threads;
+    EXPECT_EQ(scenarios::runEval(graph).toJson(), reference)
+        << "graph threads=" << threads;
   }
-  EXPECT_TRUE(report.allSimSafe);
+}
+
+TEST(EvalPolicyMatrix, EveryRegisteredPolicySchedulesEveryScenario) {
+  // The smoke check runs under both executors: the invariants are
+  // executor-independent, and a structural bug in either path (a dropped
+  // unit, a missed stage) would surface here before the byte diff does.
+  for (const scenarios::EvalExecutor executor :
+       {scenarios::EvalExecutor::Barrier, scenarios::EvalExecutor::Graph}) {
+    scenarios::EvalOptions options = smallBatch();
+    options.scenarioCount = 6;
+    options.executor = executor;
+    const char* label =
+        executor == scenarios::EvalExecutor::Barrier ? "barrier" : "graph";
+    const scenarios::EvalReport report = scenarios::runEval(options);
+
+    // All registered policies took part.
+    EXPECT_EQ(report.policies, sched::registeredPolicyNames());
+    ASSERT_EQ(report.scenarios.size(), 6u);
+    for (const scenarios::ScenarioResult& row : report.scenarios) {
+      ASSERT_EQ(row.outcomes.size(), report.policies.size());
+      adl::Cycles bestBound = 0;
+      std::string bestPolicy;
+      for (const scenarios::PolicyOutcome& outcome : row.outcomes) {
+        // Scheduled for real: tasks placed, a positive bound, and the
+        // simulator stayed within it.
+        EXPECT_GT(outcome.tasks, 0)
+            << label << " " << row.scenario << "/" << outcome.policy;
+        EXPECT_GT(outcome.bound, 0)
+            << label << " " << row.scenario << "/" << outcome.policy;
+        EXPECT_TRUE(outcome.simSafe)
+            << label << " " << row.scenario << "/" << outcome.policy;
+        // The schedule label must belong to the requested policy...
+        EXPECT_EQ(outcome.scheduleLabel.rfind(outcome.policy, 0), 0u)
+            << label << " " << row.scenario << ": asked for "
+            << outcome.policy << ", got " << outcome.scheduleLabel;
+        // ...and the HEFT fallback may fire only where it is *expected*:
+        // graphs beyond the exact search's task cap.
+        if (outcome.scheduleLabel.find("fallback") != std::string::npos) {
+          EXPECT_FALSE(sched::bnbExactSearchFeasible(
+              static_cast<std::size_t>(outcome.tasks),
+              options.toolchain.sched))
+              << label << " " << row.scenario << ": fell back at "
+              << outcome.tasks << " tasks, within the exact-search cap";
+        }
+        if (bestPolicy.empty() || outcome.bound < bestBound) {
+          bestPolicy = outcome.policy;
+          bestBound = outcome.bound;
+        }
+      }
+      EXPECT_EQ(row.winner, bestPolicy) << label << " " << row.scenario;
+    }
+    EXPECT_TRUE(report.allSimSafe) << label;
+  }
 }
 
 TEST(EvalReportJson, ShapeAndTimingsFlag) {

@@ -14,6 +14,12 @@
 //   --seed N            base seed of the scenario family       (default 1)
 //   --scenarios N       number of generated scenarios          (default 20)
 //   --threads N         batch workers; 0 = hardware threads    (default 1)
+//   --executor NAME     graph | barrier                  (default graph)
+//                       graph = support::TaskGraph dependency-graph
+//                       executor (stages overlap across scenarios);
+//                       barrier = one flat parallelFor over fused units.
+//                       The report is byte-identical either way — the A/B
+//                       pair is the executor-differential oracle.
 //   --policies a,b,..   registry names to compare   (default: all registered)
 //                       (accepts the argo_cc aliases bnb / oblivious;
 //                       unknown names are rejected up front with the
@@ -53,6 +59,7 @@ using namespace argo;
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--scenarios N] [--threads N] [--policies a,b]\n"
+      "          [--executor graph|barrier]\n"
       "          [--sim-trials N] [--layers MIN:MAX] [--width MIN:MAX]\n"
       "          [--array-len MIN:MAX] [--ccr X] [--spread X]\n"
       "          [--shape layered_dag|stencil_chain] [--stencil-radius N]\n"
@@ -114,6 +121,16 @@ int main(int argc, char** argv) {
           else if (name == "oblivious")
             options.policies.push_back("contention_oblivious");
           else options.policies.push_back(name);
+        }
+      } else if (arg == "--executor") {
+        const std::string name = value(i);
+        if (name == "graph") {
+          options.executor = scenarios::EvalExecutor::Graph;
+        } else if (name == "barrier") {
+          options.executor = scenarios::EvalExecutor::Barrier;
+        } else {
+          throw support::ToolchainError("unknown executor '" + name +
+                                        "' (expected graph or barrier)");
         }
       } else if (arg == "--sim-trials") {
         options.simTrials = std::stoi(value(i));
