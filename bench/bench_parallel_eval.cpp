@@ -5,12 +5,18 @@
 // TaskGraph executor (per-stage nodes, stages overlap across scenarios);
 // the matrix50 row races the two pooled engines head to head on the CI
 // 50-scenario matrix — its "speedup" column is barrier-over-graph wall
-// clock. Every row also verifies the rendered JSON reports are
-// byte-identical across engines and thread counts — the per-unit slots
-// plus ladder-order assembly make the batch independent of how units
-// interleave, and the barrier path doubles as the differential oracle for
-// the graph path. `--json` emits the same rows as one machine-readable
-// JSON document.
+// clock. The cross6 rows run the full scenario x platform cross product
+// (--sweep-mode cross) and put the stage cache (core/cache.h) head to
+// head against uncached evaluation: "cold" is a fresh cache amortized
+// within one batch, "warm" is an incremental re-sweep against an already
+// populated cache — the argod content-addressed-service pattern, and the
+// headline speedup of the caching layer. Every row also verifies the
+// rendered JSON reports are byte-identical across engines, thread counts,
+// and cache settings — the per-unit slots plus ladder-order assembly make
+// the batch independent of how units interleave, and the barrier and
+// uncached paths double as the differential oracles for the graph and
+// cached paths. `--json` emits the same rows as one machine-readable JSON
+// document.
 #include <chrono>
 #include <string>
 #include <thread>
@@ -101,6 +107,44 @@ int main(int argc, char** argv) {
   report.addRow(argo::bench::ParallelBenchRow{
       "matrix50", "b_vs_g", 50 * policyCount, wideBarrierMs, wideGraphMs,
       wideBarrier == wideGraph});
+
+  // cross6: the full scenario x platform cross product (every sweep case,
+  // default 9, for every scenario) on the graph engine, pooled. seq_ms
+  // always carries the uncached run.
+  argo::scenarios::EvalOptions cross;
+  cross.generator.seed = 7;
+  cross.scenarioCount = 6;
+  cross.simTrials = 1;
+  cross.sweepMode = argo::scenarios::SweepMode::Cross;
+  cross.threads = 0;
+  const std::size_t crossUnits =
+      static_cast<std::size_t>(cross.scenarioCount) *
+      argo::scenarios::buildPlatformSweep(cross.sweep).size() * policyCount;
+
+  cross.cacheEnabled = false;
+  double crossUncachedMs = 0.0;
+  const std::string crossUncached = timedEval(cross, crossUncachedMs);
+
+  // cross6/cache_cold: fresh cache, amortized within the single batch —
+  // cross-policy and cross-cell prefix reuse plus identical-schedule hits.
+  cross.cacheEnabled = true;
+  auto shared = std::make_shared<argo::core::ToolchainCache>();
+  cross.cache = shared;
+  double crossColdMs = 0.0;
+  const std::string crossCold = timedEval(cross, crossColdMs);
+  report.addRow(argo::bench::ParallelBenchRow{
+      "cross6", "cache_cold", crossUnits, crossUncachedMs, crossColdMs,
+      crossCold == crossUncached});
+
+  // cross6/cache_warm: the same sweep again against the now-populated
+  // cache — only the simulator probes and report assembly recompute. This
+  // is the incremental re-sweep / resident-service row and the headline
+  // speedup of the caching layer (acceptance: >= 3x).
+  double crossWarmMs = 0.0;
+  const std::string crossWarm = timedEval(cross, crossWarmMs);
+  report.addRow(argo::bench::ParallelBenchRow{
+      "cross6", "cache_warm", crossUnits, crossUncachedMs, crossWarmMs,
+      crossWarm == crossUncached});
 
   return report.finish();
 }

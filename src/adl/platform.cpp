@@ -177,6 +177,40 @@ Cycles Platform::transferWorstCase(std::int64_t bytes, int fromTile, int toTile,
   return noc().worstCaseTransferCycles(bytes, fromTile, toTile, contenders);
 }
 
+std::string Platform::canonicalText() const {
+  std::string out;
+  out.reserve(128 + tiles_.size() * 64);
+  for (const Tile& tile : tiles_) {
+    out += "tile " + std::to_string(tile.index) + " ops[";
+    for (std::size_t i = 0; i < tile.core.opCycles.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(tile.core.opCycles[i]);
+    }
+    out += "] local=" + std::to_string(tile.core.localAccessCycles);
+    out += " spm=" + std::to_string(tile.core.spmAccessCycles);
+    out += " spmBytes=" + std::to_string(tile.core.spmBytes);
+    out += '\n';
+  }
+  if (isBus()) {
+    const BusModel& b = bus();
+    out += std::string("bus arb=") + arbitrationName(b.arbitration);
+    out += " base=" + std::to_string(b.baseAccessCycles);
+    out += " slot=" + std::to_string(b.slotCycles);
+    out += " word=" + std::to_string(b.wordBytes);
+  } else {
+    const NocModel& n = noc();
+    out += "noc mesh=" + std::to_string(n.meshWidth) + "x" +
+           std::to_string(n.meshHeight);
+    out += " router=" + std::to_string(n.routerCycles);
+    out += " link=" + std::to_string(n.linkCycles);
+    out += " flit=" + std::to_string(n.flitBytes);
+    out += " memAccess=" + std::to_string(n.memAccessCycles);
+    out += " memTile=" + std::to_string(n.memTile);
+  }
+  out += "\nsharedMemBytes=" + std::to_string(sharedMemBytes_) + "\n";
+  return out;
+}
+
 Platform Platform::withCoreCount(int n) const {
   if (n <= 0 || n > coreCount()) {
     throw ToolchainError("withCoreCount: invalid core count " +

@@ -181,6 +181,16 @@ class Platform {
                                          int toTile,
                                          int contenders) const noexcept;
 
+  /// Canonical serialization of the pricing model: every field the
+  /// scheduling, WCET, simulation, and code-generation layers can observe
+  /// — per-tile core cycle tables and scratchpad parameters, the
+  /// interconnect with its parameters, shared-memory capacity. Display
+  /// names (platform and core kind) are deliberately excluded: they are
+  /// reports-only, so two platforms with equal canonicalText() price
+  /// every program identically. The stage cache (core/cache.h) uses this
+  /// as the platform half of its content-hash keys.
+  [[nodiscard]] std::string canonicalText() const;
+
   /// Returns a new platform restricted to the first `n` tiles (used by the
   /// core-count sweeps in the benchmark harness).
   [[nodiscard]] Platform withCoreCount(int n) const;

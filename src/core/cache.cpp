@@ -1,0 +1,101 @@
+#include "core/cache.h"
+
+namespace argo::core {
+
+ToolchainCacheStats ToolchainCache::stats() const noexcept {
+  ToolchainCacheStats s;
+  s.transforms = transforms.stats();
+  s.sequentialWcet = sequentialWcet.stats();
+  s.expansion = expansion.stats();
+  s.timings = timings.stats();
+  s.schedules = schedules.stats();
+  return s;
+}
+
+std::string transformPlatformSlice(const adl::Platform& platform) {
+  const adl::CoreModel& core = platform.tile(0).core;
+  std::string out = "spmBytes=" + std::to_string(core.spmBytes);
+  out += " spmAccess=" + std::to_string(core.spmAccessCycles);
+  out += " sharedBase=" + std::to_string(platform.sharedAccessBase(0));
+  return out;
+}
+
+std::string tileTimingSlice(const adl::Platform& platform, int tile) {
+  const adl::CoreModel& core = platform.tile(tile).core;
+  std::string out = "ops[";
+  for (std::size_t i = 0; i < core.opCycles.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(core.opCycles[i]);
+  }
+  out += "] local=" + std::to_string(core.localAccessCycles);
+  out += " spm=" + std::to_string(core.spmAccessCycles);
+  out += " sharedBase=" + std::to_string(platform.sharedAccessBase(tile));
+  return out;
+}
+
+std::string timingPlatformSlice(const adl::Platform& platform) {
+  std::string out;
+  for (int t = 0; t < platform.coreCount(); ++t) {
+    out += "tile " + std::to_string(t) + " " + tileTimingSlice(platform, t);
+    out += '\n';
+  }
+  return out;
+}
+
+support::StageKey transformsKey(std::string_view modelIrText,
+                                const adl::Platform& platform,
+                                bool runTransforms, bool spmAllocation) {
+  support::Hasher h;
+  h.str("transforms").str(modelIrText);
+  h.boolean(runTransforms).boolean(spmAllocation);
+  // The SPM slice only matters when the allocation pass runs, but keying
+  // it unconditionally costs at most a spurious miss, never a wrong hit.
+  h.str(transformPlatformSlice(platform));
+  return h.finish();
+}
+
+support::StageKey sequentialWcetKey(const support::StageKey& transformedIr,
+                                    const adl::Platform& platform) {
+  support::Hasher h;
+  h.str("seqwcet").key(transformedIr).str(tileTimingSlice(platform, 0));
+  return h.finish();
+}
+
+support::StageKey expansionKey(const support::StageKey& transformedIr,
+                               int chunksPerLoop, bool mergeScalarChains) {
+  support::Hasher h;
+  h.str("expand").key(transformedIr);
+  h.i32(chunksPerLoop).boolean(mergeScalarChains);
+  return h.finish();
+}
+
+support::StageKey timingsKey(const support::StageKey& expansion,
+                             const adl::Platform& platform) {
+  support::Hasher h;
+  h.str("timings").key(expansion).str(timingPlatformSlice(platform));
+  return h.finish();
+}
+
+support::StageKey scheduleKey(const support::StageKey& timings,
+                              const adl::Platform& platform,
+                              const sched::SchedOptions& options,
+                              syswcet::InterferenceMethod method) {
+  support::Hasher h;
+  h.str("schedule").key(timings).str(platform.canonicalText());
+  h.str(options.policy);
+  h.boolean(options.interferenceAware);
+  h.i32(options.coreLimit);
+  h.i32(options.bnbTaskLimit);
+  h.i64(options.bnbNodeBudget);
+  h.i32(options.bnbFrontierDepth);
+  h.i32(options.saIterations);
+  h.f64(options.saInitialTemp);
+  h.u64(options.seed);
+  h.i32(options.saRestarts);
+  // options.parallelThreads is deliberately NOT keyed: it selects how the
+  // bit-identical result is computed, not what it is.
+  h.i32(static_cast<std::int32_t>(method));
+  return h.finish();
+}
+
+}  // namespace argo::core

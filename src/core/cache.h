@@ -1,0 +1,139 @@
+// Content-hash stage cache for the tool-chain: the incremental pipeline.
+//
+// A platform sweep re-runs the pipeline per (scenario x platform x policy)
+// cell, yet most cells share everything up to placement: the transformed
+// IR, the HTG expansion, and the per-task WCETs depend only on a *slice*
+// of the inputs. ToolchainCache memoizes each stage of core::Toolchain on
+// a 128-bit content hash of exactly the inputs that stage can observe:
+//
+//   transforms      (model IR text, transform flags, tile-0 SPM slice)
+//   sequentialWcet  (transformed IR, tile-0 timing-model slice)
+//   expansion       (transformed IR, chunksPerLoop, mergeScalarChains)
+//   timings         (expansion key, all-tile timing-model slices)
+//   schedules       (timings key, full pricing model, SchedOptions minus
+//                    parallelThreads, interference method)
+//
+// Keys chain: each stage folds its upstream stage's key in, so a change
+// anywhere upstream invalidates everything downstream and nothing else.
+// Inputs a stage cannot observe are deliberately NOT keyed — platform and
+// core display names (reports-only), sched::SchedOptions::parallelThreads
+// and ToolchainOptions::explorationThreads (execution knobs; results are
+// thread-count-invariant by the determinism contract), and simulator
+// settings. That is what makes a cached value byte-identical to a fresh
+// computation: every stage is a pure function of its keyed inputs.
+//
+// Sharing: one ToolchainCache may serve many Toolchain instances across
+// threads (scenarios::runEval shares one across the whole batch; the
+// future argod service shares one across requests). Single-flight and
+// thread safety come from support::StageCache.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adl/platform.h"
+#include "htg/htg.h"
+#include "sched/options.h"
+#include "sched/schedule.h"
+#include "support/hash.h"
+#include "support/stage_cache.h"
+#include "syswcet/system_wcet.h"
+
+namespace argo::core {
+
+/// Cached value of the transforms stage: the transformed function (cloned
+/// out of the cache by every consumer), the pass list, and the canonical
+/// IR text every downstream key derives from.
+struct TransformsStage {
+  std::unique_ptr<const ir::Function> fn;
+  std::vector<std::string> passesRun;
+  std::string irText;          ///< ir::toString(*fn).
+  support::StageKey irKey;     ///< Hash of irText, computed once.
+};
+
+/// Cached value of one HTG expansion. The graph's task statements are
+/// clones it owns, but the graph points at the source function — `source`
+/// keeps that function alive for as long as the graph is shared.
+struct ExpandStage {
+  std::shared_ptr<const TransformsStage> source;
+  std::unique_ptr<const htg::TaskGraph> graph;
+};
+
+/// Cached value of one schedule + system-WCET evaluation (one feedback
+/// candidate). Plain value types — safe to copy into ToolchainResult.
+struct ScheduleStage {
+  sched::Schedule schedule;
+  syswcet::SystemWcet system;
+};
+
+/// Per-stage lookup counters (see support::StageCacheStats for the
+/// determinism caveat on the hit/wait split).
+struct ToolchainCacheStats {
+  support::StageCacheStats transforms;
+  support::StageCacheStats sequentialWcet;
+  support::StageCacheStats expansion;
+  support::StageCacheStats timings;
+  support::StageCacheStats schedules;
+};
+
+/// The five stage caches of one tool-chain instance pool. Create one,
+/// share it via ToolchainOptions::cache across every run that should
+/// reuse work.
+class ToolchainCache {
+ public:
+  support::StageCache<TransformsStage> transforms;
+  support::StageCache<adl::Cycles> sequentialWcet;
+  support::StageCache<ExpandStage> expansion;
+  support::StageCache<std::vector<sched::TaskTiming>> timings;
+  support::StageCache<ScheduleStage> schedules;
+
+  [[nodiscard]] ToolchainCacheStats stats() const noexcept;
+};
+
+// ---- Canonical platform slices ------------------------------------------
+// The "what can this stage observe" lists, as canonical text. Keys hash
+// these; tests compare them directly when arguing key sensitivity.
+
+/// What the transform passes observe: tile-0 scratchpad capacity and
+/// access cost, and the uncontended shared access cost from tile 0 (the
+/// ScratchpadAllocation pass parameters).
+[[nodiscard]] std::string transformPlatformSlice(const adl::Platform&);
+
+/// What the code-level WCET analysis of one tile observes: that tile's
+/// core cycle table, local/SPM access costs, and uncontended shared
+/// access cost (wcet::TimingModel::forTile).
+[[nodiscard]] std::string tileTimingSlice(const adl::Platform&, int tile);
+
+/// What the per-task timing analysis observes: every tile's timing slice
+/// (TaskTiming::wcetByTile spans all tiles).
+[[nodiscard]] std::string timingPlatformSlice(const adl::Platform&);
+
+// ---- Stage keys ----------------------------------------------------------
+
+[[nodiscard]] support::StageKey transformsKey(std::string_view modelIrText,
+                                              const adl::Platform& platform,
+                                              bool runTransforms,
+                                              bool spmAllocation);
+
+[[nodiscard]] support::StageKey sequentialWcetKey(
+    const support::StageKey& transformedIr, const adl::Platform& platform);
+
+[[nodiscard]] support::StageKey expansionKey(
+    const support::StageKey& transformedIr, int chunksPerLoop,
+    bool mergeScalarChains);
+
+[[nodiscard]] support::StageKey timingsKey(const support::StageKey& expansion,
+                                           const adl::Platform& platform);
+
+/// The schedule/syswcet stage observes the full pricing model
+/// (adl::Platform::canonicalText — policies price communication and
+/// par::buildParallelProgram checks address capacities) and every
+/// SchedOptions field except parallelThreads, which only selects how the
+/// identical result is computed.
+[[nodiscard]] support::StageKey scheduleKey(
+    const support::StageKey& timings, const adl::Platform& platform,
+    const sched::SchedOptions& options, syswcet::InterferenceMethod method);
+
+}  // namespace argo::core

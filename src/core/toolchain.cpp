@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <sstream>
 
+#include "core/cache.h"
+#include "ir/printer.h"
 #include "support/parallel.h"
 #include "support/strings.h"
 #include "transform/const_fold.h"
@@ -43,6 +46,62 @@ class StageClock {
   std::vector<StageTiming>& sink_;
 };
 
+/// The predictability transform pipeline (Fig. 1 left), applied in place.
+std::vector<std::string> runTransformPasses(ir::Function& fn,
+                                            const adl::Platform& platform,
+                                            const ToolchainOptions& options) {
+  transform::PassManager pm;
+  if (options.runTransforms) {
+    pm.add(std::make_unique<transform::ConstantFolding>());
+    pm.add(std::make_unique<transform::IndexSetSplitting>());
+    pm.add(std::make_unique<transform::LoopFusion>());
+  }
+  if (options.spmAllocation) {
+    const adl::CoreModel& core = platform.tile(0).core;
+    pm.add(std::make_unique<transform::ScratchpadAllocation>(
+        core.spmBytes, platform.sharedAccessBase(0), core.spmAccessCycles));
+  }
+  return pm.run(fn);
+}
+
+/// The transforms stage as a cacheable value: transformed clone of the
+/// model function plus its canonical IR text and key.
+TransformsStage makeTransformsStage(const model::CompiledModel& model,
+                                    const adl::Platform& platform,
+                                    const ToolchainOptions& options) {
+  TransformsStage stage;
+  std::unique_ptr<ir::Function> fn = model.fn->clone();
+  stage.passesRun = runTransformPasses(*fn, platform, options);
+  stage.irText = ir::toString(*fn);
+  stage.irKey = support::Hasher().str(stage.irText).finish();
+  stage.fn = std::move(fn);
+  return stage;
+}
+
+/// One feedback candidate: a granularity plus an optional core
+/// restriction.
+struct Candidate {
+  int chunks;
+  int coreLimit;  // 0 = unrestricted
+};
+
+/// The candidate ladder of the feedback loop: sequential-mapping fallback
+/// first (parallelization must *beat* one core to be selected), then every
+/// requested granularity.
+std::vector<Candidate> buildPlans(const adl::Platform& platform,
+                                  const ToolchainOptions& options) {
+  std::vector<int> candidates = options.chunkCandidates;
+  if (candidates.empty()) {
+    for (int c = 1; c <= 2 * platform.coreCount(); c *= 2) {
+      candidates.push_back(c);
+    }
+  }
+  std::vector<Candidate> plans;
+  plans.push_back(Candidate{1, 1});
+  for (int chunks : candidates) plans.push_back(Candidate{chunks, 0});
+  return plans;
+}
+
 }  // namespace
 
 ToolchainResult Toolchain::run(const model::Diagram& diagram) const {
@@ -56,70 +115,118 @@ codegen::Emission Toolchain::emitC(const ToolchainResult& result,
                               trace, options);
 }
 
+void Toolchain::warmSharedStages(const model::CompiledModel& model) const {
+  ToolchainCache* const cache = options_.cache.get();
+  if (cache == nullptr) return;
+
+  const std::shared_ptr<const TransformsStage> transformed =
+      cache->transforms.getOrCompute(
+          transformsKey(ir::toString(*model.fn), platform_,
+                        options_.runTransforms, options_.spmAllocation),
+          [&] { return makeTransformsStage(model, platform_, options_); });
+
+  (void)cache->sequentialWcet.getOrCompute(
+      sequentialWcetKey(transformed->irKey, platform_), [&] {
+        const wcet::TimingModel model0 =
+            wcet::TimingModel::forTile(platform_, 0);
+        return wcet::SchemaAnalyzer(*transformed->fn, model0)
+            .analyzeFunction()
+            .cycles;
+      });
+
+  // Warming may itself run inside a pooled phase (runEval's prefix
+  // nodes), so the timing analysis stays inline; the cached table is
+  // thread-count-invariant regardless.
+  for (const Candidate& plan : buildPlans(platform_, options_)) {
+    const support::StageKey expKey = expansionKey(
+        transformed->irKey, plan.chunks, options_.mergeScalarChains);
+    const std::shared_ptr<const ExpandStage> expanded =
+        cache->expansion.getOrCompute(expKey, [&] {
+          ExpandStage stage;
+          stage.source = transformed;
+          htg::ExpandOptions expandOptions;
+          expandOptions.chunksPerLoop = plan.chunks;
+          expandOptions.mergeScalarChains = options_.mergeScalarChains;
+          const htg::Htg source = htg::buildHtg(*transformed->fn);
+          stage.graph = std::make_unique<const htg::TaskGraph>(
+              htg::expand(source, expandOptions));
+          return stage;
+        });
+    (void)cache->timings.getOrCompute(timingsKey(expKey, platform_), [&] {
+      return sched::computeTaskTimings(*expanded->graph, platform_,
+                                       /*parallelThreads=*/1);
+    });
+  }
+}
+
 ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   ToolchainResult result;
   StageClock clock(result.stages);
+  ToolchainCache* const cache = options_.cache.get();
 
   // ---- IR + predictability-enhancing transformations (Fig. 1 left). ----
-  result.fn = model.fn->clone();
-  result.constants = model.constants;
+  // With a cache the transformed function is computed once per (model IR
+  // x transform flags x SPM slice) and cloned out of the shared value;
+  // without one it is computed in place, exactly the pre-cache path.
+  std::shared_ptr<const TransformsStage> transformed;
   clock.time("transforms", [&] {
-    transform::PassManager pm;
-    if (options_.runTransforms) {
-      pm.add(std::make_unique<transform::ConstantFolding>());
-      pm.add(std::make_unique<transform::IndexSetSplitting>());
-      pm.add(std::make_unique<transform::LoopFusion>());
+    if (cache != nullptr) {
+      transformed = cache->transforms.getOrCompute(
+          transformsKey(ir::toString(*model.fn), platform_,
+                        options_.runTransforms, options_.spmAllocation),
+          [&] { return makeTransformsStage(model, platform_, options_); });
+      result.fn = transformed->fn->clone();
+      result.passesRun = transformed->passesRun;
+    } else {
+      result.fn = model.fn->clone();
+      result.passesRun = runTransformPasses(*result.fn, platform_, options_);
     }
-    if (options_.spmAllocation) {
-      const adl::CoreModel& core = platform_.tile(0).core;
-      pm.add(std::make_unique<transform::ScratchpadAllocation>(
-          core.spmBytes, platform_.sharedAccessBase(0),
-          core.spmAccessCycles));
-    }
-    result.passesRun = pm.run(*result.fn);
   });
+  result.constants = model.constants;
 
   // ---- Sequential reference bound (single core, no interference). ----
   clock.time("code_level_wcet", [&] {
-    const wcet::TimingModel model0 = wcet::TimingModel::forTile(platform_, 0);
+    const auto analyze = [&] {
+      const wcet::TimingModel model0 = wcet::TimingModel::forTile(platform_, 0);
+      return wcet::SchemaAnalyzer(*result.fn, model0).analyzeFunction().cycles;
+    };
     result.sequentialWcet =
-        wcet::SchemaAnalyzer(*result.fn, model0).analyzeFunction().cycles;
+        cache != nullptr
+            ? *cache->sequentialWcet.getOrCompute(
+                  sequentialWcetKey(transformed->irKey, platform_), analyze)
+            : analyze();
   });
 
-  // ---- Task extraction: one HTG, several candidate granularities. ----
-  const htg::Htg htg = clock.time("task_extraction",
-                                  [&] { return htg::buildHtg(*result.fn); });
-
-  std::vector<int> candidates = options_.chunkCandidates;
-  if (candidates.empty()) {
-    for (int c = 1; c <= 2 * platform_.coreCount(); c *= 2) {
-      candidates.push_back(c);
-    }
+  // ---- Task extraction: one HTG, several candidate granularities. The
+  // uncached path extracts here and expands per candidate; the cached
+  // path expands through the cache (each expansion owns a shared graph)
+  // and re-extracts only for the winner at the end. ----
+  std::optional<htg::Htg> htgSource;
+  if (cache == nullptr) {
+    htgSource.emplace(clock.time(
+        "task_extraction", [&] { return htg::buildHtg(*result.fn); }));
   }
+
+  const std::vector<Candidate> plans = buildPlans(platform_, options_);
 
   // ---- Cross-layer feedback: schedule each candidate, measure its
   // system-level WCET, keep the best (Section II-E). Candidates are
-  // independent (each owns its expanded graph; htg/platform are only
-  // read), so they are evaluated concurrently on a work-stealing pool.
-  // Determinism: every candidate writes into its own slot, and the
+  // independent (graphs are owned or shared read-only; htg/platform are
+  // only read), so they are evaluated concurrently on a work-stealing
+  // pool. Determinism: every candidate writes into its own slot, and the
   // reduction below walks the slots in ladder order with a strict `<`, so
   // the chosen candidate, the FeedbackPoint sequence, and the report are
-  // bit-identical to a sequential evaluation. ----
-  struct Candidate {
-    int chunks;
-    int coreLimit;  // 0 = unrestricted
-  };
-  std::vector<Candidate> plans;
-  // Sequential-mapping fallback first: parallelization must *beat* one
-  // core to be selected at all.
-  plans.push_back(Candidate{1, 1});
-  for (int chunks : candidates) plans.push_back(Candidate{chunks, 0});
-
+  // bit-identical to a sequential evaluation — and to the cached path,
+  // because every cached stage is a pure function of its keyed inputs. ----
   struct PlanEval {
-    std::unique_ptr<htg::TaskGraph> graph;
-    std::vector<sched::TaskTiming> timings;
-    sched::Schedule schedule;
-    syswcet::SystemWcet system;
+    std::shared_ptr<const ExpandStage> expansion;  // cached path
+    std::unique_ptr<htg::TaskGraph> ownedGraph;    // uncached path
+    std::shared_ptr<const std::vector<sched::TaskTiming>> timings;
+    std::shared_ptr<const ScheduleStage> outcome;
+
+    [[nodiscard]] const htg::TaskGraph& graph() const {
+      return expansion != nullptr ? *expansion->graph : *ownedGraph;
+    }
   };
 
   // Exploration parallelism decided up front: candidates are the outer
@@ -130,10 +237,9 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
 
   const auto evaluatePlan = [&](const Candidate& plan) {
     PlanEval eval;
-    htg::ExpandOptions expand;
-    expand.chunksPerLoop = plan.chunks;
-    expand.mergeScalarChains = options_.mergeScalarChains;
-    eval.graph = std::make_unique<htg::TaskGraph>(htg::expand(htg, expand));
+    htg::ExpandOptions expandOptions;
+    expandOptions.chunksPerLoop = plan.chunks;
+    expandOptions.mergeScalarChains = options_.mergeScalarChains;
     // Candidates an exact policy cannot represent are not rejected here:
     // the branch-and-bound policy itself falls back to HEFT beyond its
     // task cap (sched/bnb.h), so every candidate stays comparable.
@@ -144,32 +250,70 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
     // must stay inline; a sequential exploration lets the scheduler pool
     // its own phases (results are identical either way).
     if (threads > 1) schedOptions.parallelThreads = 1;
-    sched::Scheduler scheduler(*eval.graph, platform_, schedOptions);
-    eval.schedule = scheduler.run(schedOptions);
-    par::ParallelProgram program =
-        par::buildParallelProgram(*eval.graph, eval.schedule, platform_);
-    eval.system = syswcet::analyzeSystem(program, platform_,
-                                         scheduler.timings(),
-                                         options_.interference,
+
+    if (cache != nullptr) {
+      const support::StageKey expKey = expansionKey(
+          transformed->irKey, plan.chunks, options_.mergeScalarChains);
+      eval.expansion = cache->expansion.getOrCompute(expKey, [&] {
+        ExpandStage stage;
+        stage.source = transformed;
+        const htg::Htg source = htg::buildHtg(*transformed->fn);
+        stage.graph = std::make_unique<const htg::TaskGraph>(
+            htg::expand(source, expandOptions));
+        return stage;
+      });
+      const support::StageKey timKey = timingsKey(expKey, platform_);
+      eval.timings = cache->timings.getOrCompute(timKey, [&] {
+        return sched::computeTaskTimings(*eval.expansion->graph, platform_,
                                          schedOptions.parallelThreads);
-    eval.timings = scheduler.timings();
+      });
+      eval.outcome = cache->schedules.getOrCompute(
+          scheduleKey(timKey, platform_, schedOptions, options_.interference),
+          [&] {
+            const sched::Scheduler scheduler(*eval.expansion->graph, platform_,
+                                             *eval.timings);
+            ScheduleStage stage;
+            stage.schedule = scheduler.run(schedOptions);
+            const par::ParallelProgram program = par::buildParallelProgram(
+                *eval.expansion->graph, stage.schedule, platform_);
+            stage.system = syswcet::analyzeSystem(
+                program, platform_, scheduler.timings(), options_.interference,
+                schedOptions.parallelThreads);
+            return stage;
+          });
+    } else {
+      eval.ownedGraph = std::make_unique<htg::TaskGraph>(
+          htg::expand(*htgSource, expandOptions));
+      const sched::Scheduler scheduler(*eval.ownedGraph, platform_,
+                                       schedOptions);
+      auto stage = std::make_shared<ScheduleStage>();
+      stage->schedule = scheduler.run(schedOptions);
+      const par::ParallelProgram program = par::buildParallelProgram(
+          *eval.ownedGraph, stage->schedule, platform_);
+      stage->system = syswcet::analyzeSystem(program, platform_,
+                                             scheduler.timings(),
+                                             options_.interference,
+                                             schedOptions.parallelThreads);
+      eval.timings = std::make_shared<const std::vector<sched::TaskTiming>>(
+          scheduler.timings());
+      eval.outcome = std::move(stage);
+    }
     return eval;
   };
 
   bool haveBest = false;
+  PlanEval best;
   // Ladder-order reduction step: identical for both paths, so the choice
   // (strict `<`, first minimum wins) matches the sequential semantics.
   const auto consume = [&](std::size_t i, PlanEval eval) {
     result.feedback.push_back(FeedbackPoint{
-        plans[i].chunks, plans[i].coreLimit, eval.system.makespan,
-        static_cast<int>(eval.graph->tasks.size())});
-    if (!haveBest || eval.system.makespan < result.system.makespan) {
+        plans[i].chunks, plans[i].coreLimit, eval.outcome->system.makespan,
+        static_cast<int>(eval.graph().tasks.size())});
+    if (!haveBest ||
+        eval.outcome->system.makespan < best.outcome->system.makespan) {
       haveBest = true;
-      result.graph = std::move(eval.graph);
-      result.timings = std::move(eval.timings);
-      result.schedule = std::move(eval.schedule);
-      result.system = std::move(eval.system);
       result.chosenChunks = plans[i].chunks;
+      best = std::move(eval);
     }
   };
 
@@ -194,8 +338,29 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
     throw support::ToolchainError("tool-chain: no feasible parallelization");
   }
 
-  // ---- Final explicit parallel program against the kept graph (its
-  // internal pointers must target the result-owned objects). ----
+  result.timings = *best.timings;
+  result.schedule = best.outcome->schedule;
+  result.system = best.outcome->system;
+
+  // ---- The result must own its task graph (internal pointers target the
+  // result-owned function). The uncached path moves the winner's graph
+  // in; the cached path re-derives it deterministically from result.fn —
+  // extraction and expansion are pure, so the rebuilt graph is identical
+  // to the shared cached one the schedule was computed against. ----
+  if (cache != nullptr) {
+    clock.time("task_extraction", [&] {
+      htg::ExpandOptions expandOptions;
+      expandOptions.chunksPerLoop = result.chosenChunks;
+      expandOptions.mergeScalarChains = options_.mergeScalarChains;
+      const htg::Htg source = htg::buildHtg(*result.fn);
+      result.graph =
+          std::make_unique<htg::TaskGraph>(htg::expand(source, expandOptions));
+    });
+  } else {
+    result.graph = std::move(best.ownedGraph);
+  }
+
+  // ---- Final explicit parallel program against the kept graph. ----
   clock.time("parallel_model", [&] {
     result.program =
         par::buildParallelProgram(*result.graph, result.schedule, platform_);

@@ -29,6 +29,8 @@ namespace argo::core {
 
 using adl::Cycles;
 
+class ToolchainCache;
+
 /// Driver configuration.
 struct ToolchainOptions {
   /// Scheduling options forwarded to every candidate evaluation,
@@ -62,6 +64,15 @@ struct ToolchainOptions {
   /// per-candidate scheduler runs its own phases sequentially (pools do
   /// not nest), overriding sched.parallelThreads for the inner runs.
   int explorationThreads = 0;
+  /// Optional content-hash stage cache (core/cache.h). When set, run()
+  /// memoizes its stages — transforms, sequential WCET, HTG expansion,
+  /// per-task timings, schedule/system-WCET — on hashes of exactly the
+  /// inputs each stage observes, and a cache shared across runs (a
+  /// platform sweep, an incremental re-run, the future argod service)
+  /// reuses everything whose inputs did not change. null (the default)
+  /// disables memoization entirely: no hashing, no serialization, the
+  /// pre-cache code path. Results are byte-identical either way.
+  std::shared_ptr<ToolchainCache> cache;
 };
 
 /// Wall-clock duration of one tool-chain stage (for E10).
@@ -126,6 +137,15 @@ class Toolchain {
 
   /// Convenience: compile a diagram, then run.
   [[nodiscard]] ToolchainResult run(const model::Diagram& diagram) const;
+
+  /// Warms the policy-independent stage prefix for `model` — transforms,
+  /// sequential WCET, every candidate HTG expansion and its per-task
+  /// timings — into the attached cache, so subsequent run() calls (for
+  /// any policy on this platform) start at the schedule stage. No-op
+  /// without a cache. scenarios::runEval uses this as the shared
+  /// upstream node that per-policy toolchain nodes fan out from on the
+  /// TaskGraph executor.
+  void warmSharedStages(const model::CompiledModel& model) const;
 
   /// The emit step (paper Section II-C: "generate C code following the
   /// WCET-aware programming model"): lowers the scheduled parallel program

@@ -39,11 +39,11 @@ void setRandomInputs(const ir::Function& fn, ir::Environment& env,
 /// Tool-chain stage of one (scenario, policy) unit. The finished
 /// ToolchainResult is parked in `keep` for the simulator stage (a separate
 /// node on the graph executor), which consumes and releases it.
-PolicyOutcome runToolchainStage(const Scenario& scenario,
-                                const adl::Platform& platform,
-                                const std::string& policy,
-                                const EvalOptions& options,
-                                std::optional<core::ToolchainResult>& keep) {
+PolicyOutcome runToolchainStage(
+    const Scenario& scenario, const adl::Platform& platform,
+    const std::string& policy, const EvalOptions& options,
+    const std::shared_ptr<core::ToolchainCache>& cache,
+    std::optional<core::ToolchainResult>& keep) {
   const auto begin = std::chrono::steady_clock::now();
 
   core::ToolchainOptions toolchainOptions = options.toolchain;
@@ -52,6 +52,7 @@ PolicyOutcome runToolchainStage(const Scenario& scenario,
   // The batch owns the pool; everything inside a unit stays inline.
   toolchainOptions.explorationThreads = 1;
   toolchainOptions.sched.parallelThreads = 1;
+  toolchainOptions.cache = cache;
 
   const core::Toolchain toolchain(platform, toolchainOptions);
   keep = toolchain.run(scenario.model);
@@ -106,12 +107,42 @@ void runSimStage(const Scenario& scenario, const adl::Platform& platform,
 /// One fused (scenario, policy) unit of the barrier executor: both stages
 /// back to back on the same worker.
 PolicyOutcome runUnit(const Scenario& scenario, const adl::Platform& platform,
-                      const std::string& policy, const EvalOptions& options) {
+                      const std::string& policy, const EvalOptions& options,
+                      const std::shared_ptr<core::ToolchainCache>& cache) {
   std::optional<core::ToolchainResult> keep;
   PolicyOutcome outcome =
-      runToolchainStage(scenario, platform, policy, options, keep);
+      runToolchainStage(scenario, platform, policy, options, cache, keep);
   runSimStage(scenario, platform, options, keep, outcome);
   return outcome;
+}
+
+/// One (scenario, sweep case) cell of the evaluation grid. Modulo mode
+/// pairs scenario s with moduloSweepCase(s, C); Cross mode enumerates the
+/// full product scenario-major. Everything downstream — both executors
+/// and the report assembly — walks this one list, so the pairing rule has
+/// exactly one definition.
+struct EvalCell {
+  std::size_t scenario = 0;
+  std::size_t sweepCase = 0;
+};
+
+std::vector<EvalCell> buildEvalCells(std::size_t scenarioCount,
+                                     std::size_t sweepCases, SweepMode mode) {
+  std::vector<EvalCell> cells;
+  if (mode == SweepMode::Modulo) {
+    cells.reserve(scenarioCount);
+    for (std::size_t s = 0; s < scenarioCount; ++s) {
+      cells.push_back(EvalCell{s, moduloSweepCase(s, sweepCases)});
+    }
+  } else {
+    cells.reserve(scenarioCount * sweepCases);
+    for (std::size_t s = 0; s < scenarioCount; ++s) {
+      for (std::size_t c = 0; c < sweepCases; ++c) {
+        cells.push_back(EvalCell{s, c});
+      }
+    }
+  }
+  return cells;
 }
 
 void appendf(std::string& out, const char* fmt, ...)
@@ -155,6 +186,10 @@ std::string jsonEscape(const std::string& s) {
 
 }  // namespace
 
+const char* sweepModeName(SweepMode mode) noexcept {
+  return mode == SweepMode::Modulo ? "modulo" : "cross";
+}
+
 core::ToolchainOptions defaultEvalToolchainOptions() {
   core::ToolchainOptions options;
   options.chunkCandidates = {1, 2, 4};
@@ -187,28 +222,46 @@ EvalReport runEval(const EvalOptions& options) {
   const std::size_t scenarioCount =
       static_cast<std::size_t>(options.scenarioCount);
   const std::size_t policyCount = report.policies.size();
-  const std::size_t units = scenarioCount * policyCount;
+
+  // The sweep is built up front (it is cheap and every mode needs its
+  // size to lay out the grid); the cell list is the one definition of the
+  // scenario/platform pairing for executors and assembly alike.
+  const std::vector<PlatformCase> sweep = buildPlatformSweep(options.sweep);
+  const std::vector<EvalCell> cells =
+      buildEvalCells(scenarioCount, sweep.size(), options.sweepMode);
+  const std::size_t units = cells.size() * policyCount;
+
+  report.sweepMode = options.sweepMode;
+  report.scenarioCount = scenarioCount;
+  report.platformCases = sweep.size();
+
+  // One stage cache shared by the whole batch (or by many batches, when
+  // the caller passed one in). Stage values are pure functions of their
+  // keyed inputs, so sharing never changes the report bytes — only how
+  // often work is recomputed.
+  std::shared_ptr<core::ToolchainCache> cache;
+  if (options.cacheEnabled) {
+    cache = options.cache != nullptr ? options.cache
+                                     : std::make_shared<core::ToolchainCache>();
+  }
 
   // Every stage writes its own slot; the assembly below reads them
   // strictly in unit order. Which executor filled them is invisible to the
   // report — that is the executor-differential guarantee.
   std::vector<PolicyOutcome> slots(units);
   std::vector<Scenario> scenarioSlots(scenarioCount);
-  std::vector<PlatformCase> sweep;
 
   if (options.executor == EvalExecutor::Barrier) {
     // Flat pooled phase over fused units. Units regenerate their scenario
     // locally — generation is cheap and keeps the units free of shared
-    // mutable state; the sweep and options are read-only.
-    sweep = buildPlatformSweep(options.sweep);
+    // mutable state; the sweep, cells, and options are read-only.
     support::parallelFor(units, options.threads, [&](std::size_t unit) {
-      const int scenarioIndex = static_cast<int>(unit / policyCount);
+      const EvalCell& cell = cells[unit / policyCount];
       const std::string& policy = report.policies[unit % policyCount];
       const Scenario scenario =
-          generateScenario(options.generator, scenarioIndex);
-      const PlatformCase& platformCase =
-          sweep[static_cast<std::size_t>(scenarioIndex) % sweep.size()];
-      slots[unit] = runUnit(scenario, platformCase.platform, policy, options);
+          generateScenario(options.generator, static_cast<int>(cell.scenario));
+      slots[unit] = runUnit(scenario, sweep[cell.sweepCase].platform, policy,
+                            options, cache);
     });
     for (std::size_t s = 0; s < scenarioCount; ++s) {
       // Metadata for the assembly (cheap) — the outcomes are in slots.
@@ -216,15 +269,16 @@ EvalReport runEval(const EvalOptions& options) {
                                           static_cast<int>(s));
     }
   } else {
-    // Dependency-graph execution (support/graph.h): the platform-sweep
-    // build and each scenario's generation are shared upstream nodes, and
-    // each unit is a toolchain-stage node feeding a simulator-stage node.
-    // Scenario A's simulation overlaps scenario B's toolchain stage —
-    // there is no batch-wide rendezvous until the sinks.
+    // Dependency-graph execution (support/graph.h): each scenario's
+    // generation is a shared upstream node; each unit is a
+    // toolchain-stage node feeding a simulator-stage node. Scenario A's
+    // simulation overlaps scenario B's toolchain stage — there is no
+    // batch-wide rendezvous until the sinks. With the cache enabled,
+    // every cell also gets a prefix node (Toolchain::warmSharedStages)
+    // that its per-policy toolchain nodes fan out from, so the shared
+    // stage prefix is computed once per cell instead of per policy.
     std::vector<std::optional<core::ToolchainResult>> parked(units);
     support::TaskGraph graph;
-    const auto sweepNode = graph.addNode(
-        "platform_sweep", [&] { sweep = buildPlatformSweep(options.sweep); });
     std::vector<support::TaskGraph::NodeId> scenarioNodes(scenarioCount);
     for (std::size_t s = 0; s < scenarioCount; ++s) {
       scenarioNodes[s] =
@@ -233,24 +287,41 @@ EvalReport runEval(const EvalOptions& options) {
                 generateScenario(options.generator, static_cast<int>(s));
           });
     }
-    for (std::size_t s = 0; s < scenarioCount; ++s) {
+    for (std::size_t cellIndex = 0; cellIndex < cells.size(); ++cellIndex) {
+      const EvalCell& cell = cells[cellIndex];
+      const std::string cellTag =
+          std::to_string(cell.scenario) + "/" + sweep[cell.sweepCase].name;
+      support::TaskGraph::NodeId prefixNode{};
+      if (cache != nullptr) {
+        prefixNode = graph.addNode("prefix/" + cellTag, [&, cellIndex] {
+          const EvalCell& c = cells[cellIndex];
+          core::ToolchainOptions warm = options.toolchain;
+          warm.explorationThreads = 1;
+          warm.sched.parallelThreads = 1;
+          warm.cache = cache;
+          core::Toolchain(sweep[c.sweepCase].platform, warm)
+              .warmSharedStages(scenarioSlots[c.scenario].model);
+        });
+        graph.addEdge(scenarioNodes[cell.scenario], prefixNode);
+      }
       for (std::size_t p = 0; p < policyCount; ++p) {
-        const std::size_t unit = s * policyCount + p;
+        const std::size_t unit = cellIndex * policyCount + p;
         const std::string& policy = report.policies[p];
         const auto toolchainNode = graph.addNode(
-            "toolchain/" + std::to_string(s) + "/" + policy, [&, s, unit] {
-              const PlatformCase& platformCase = sweep[s % sweep.size()];
+            "toolchain/" + cellTag + "/" + policy, [&, cellIndex, unit, p] {
+              const EvalCell& c = cells[cellIndex];
               slots[unit] = runToolchainStage(
-                  scenarioSlots[s], platformCase.platform,
-                  report.policies[unit % policyCount], options, parked[unit]);
+                  scenarioSlots[c.scenario], sweep[c.sweepCase].platform,
+                  report.policies[p], options, cache, parked[unit]);
             });
-        graph.addEdge(sweepNode, toolchainNode);
-        graph.addEdge(scenarioNodes[s], toolchainNode);
+        graph.addEdge(scenarioNodes[cell.scenario], toolchainNode);
+        if (cache != nullptr) graph.addEdge(prefixNode, toolchainNode);
         const auto simNode = graph.addNode(
-            "sim/" + std::to_string(s) + "/" + policy, [&, s, unit] {
-              const PlatformCase& platformCase = sweep[s % sweep.size()];
-              runSimStage(scenarioSlots[s], platformCase.platform, options,
-                          parked[unit], slots[unit]);
+            "sim/" + cellTag + "/" + policy, [&, cellIndex, unit] {
+              const EvalCell& c = cells[cellIndex];
+              runSimStage(scenarioSlots[c.scenario],
+                          sweep[c.sweepCase].platform, options, parked[unit],
+                          slots[unit]);
             });
         graph.addEdge(toolchainNode, simNode);
       }
@@ -260,11 +331,11 @@ EvalReport runEval(const EvalOptions& options) {
 
   // Ladder-order assembly: strictly in unit order, strict < for the
   // winner, so the report is identical however the units were executed.
-  report.scenarios.reserve(scenarioCount);
-  for (int s = 0; s < options.scenarioCount; ++s) {
-    const Scenario& scenario = scenarioSlots[static_cast<std::size_t>(s)];
-    const PlatformCase& platformCase =
-        sweep[static_cast<std::size_t>(s) % sweep.size()];
+  report.scenarios.reserve(cells.size());
+  for (std::size_t cellIndex = 0; cellIndex < cells.size(); ++cellIndex) {
+    const EvalCell& cell = cells[cellIndex];
+    const Scenario& scenario = scenarioSlots[cell.scenario];
+    const PlatformCase& platformCase = sweep[cell.sweepCase];
     ScenarioResult row;
     row.scenario = scenario.name;
     row.seed = scenario.seed;
@@ -275,8 +346,7 @@ EvalReport runEval(const EvalOptions& options) {
     row.cores = platformCase.platform.coreCount();
     Cycles bestBound = 0;
     for (std::size_t p = 0; p < policyCount; ++p) {
-      PolicyOutcome outcome =
-          std::move(slots[static_cast<std::size_t>(s) * policyCount + p]);
+      PolicyOutcome outcome = std::move(slots[cellIndex * policyCount + p]);
       report.allSimSafe = report.allSimSafe && outcome.simSafe;
       if (row.winner.empty() || outcome.bound < bestBound) {
         row.winner = outcome.policy;
@@ -286,6 +356,7 @@ EvalReport runEval(const EvalOptions& options) {
     }
     report.scenarios.push_back(std::move(row));
   }
+  if (cache != nullptr) report.cacheStats = cache->stats();
   return report;
 }
 
@@ -293,8 +364,9 @@ std::string EvalReport::toJson(bool includeTimings) const {
   std::string out;
   out.reserve(4096);
   appendf(out, "{\"bench\":\"argo_eval\",\"seed\":%" PRIu64
-               ",\"scenario_count\":%zu,\"policies\":[",
-          seed, scenarios.size());
+               ",\"scenario_count\":%zu,\"sweep_mode\":\"%s\","
+               "\"platform_cases\":%zu,\"policies\":[",
+          seed, scenarioCount, sweepModeName(sweepMode), platformCases);
   for (std::size_t p = 0; p < policies.size(); ++p) {
     appendf(out, "%s\"%s\"", p == 0 ? "" : ",",
             jsonEscape(policies[p]).c_str());
@@ -361,6 +433,29 @@ std::string EvalReport::toJson(bool includeTimings) const {
     out += "}";
   }
   appendf(out, "],\"all_sim_safe\":%s", allSimSafe ? "true" : "false");
+  if (includeTimings && cacheStats.has_value()) {
+    // Raw stage-cache counters. The hit/wait split depends on thread
+    // timing, which is why this block shares the wall-clock opt-in gate.
+    const auto stage = [&](const char* name,
+                           const support::StageCacheStats& s) {
+      appendf(out, "\"%s\":{\"hits\":%llu,\"misses\":%llu,"
+                   "\"inflight_waits\":%llu}",
+              name, static_cast<unsigned long long>(s.hits),
+              static_cast<unsigned long long>(s.misses),
+              static_cast<unsigned long long>(s.inflightWaits));
+    };
+    out += ",\"cache_stats\":{";
+    stage("transforms", cacheStats->transforms);
+    out += ",";
+    stage("sequential_wcet", cacheStats->sequentialWcet);
+    out += ",";
+    stage("expansion", cacheStats->expansion);
+    out += ",";
+    stage("timings", cacheStats->timings);
+    out += ",";
+    stage("schedules", cacheStats->schedules);
+    out += "}";
+  }
   if (includeTimings) appendf(out, ",\"total_wall_ms\":%.3f", totalWallMs);
   out += "}}";
   return out;

@@ -9,27 +9,32 @@
 // CLI and CI uploads its JSON report per PR.
 //
 // Parallelism and determinism: by default the batch runs on the
-// support::TaskGraph dependency-graph executor (support/graph.h). The
-// platform-sweep build and each scenario's generation are shared upstream
-// nodes; every (scenario, policy) unit then runs as a toolchain-stage node
-// followed by a simulator-stage node, with edges only on those true data
-// dependences — so independent chains overlap instead of rendezvousing at
-// a batch-wide barrier. Every stage writes into its own slot and the
-// report is assembled strictly in unit order afterwards, so the report is
-// bit-identical for any thread count (the ladder-order rule of
-// docs/ARCHITECTURE.md) *and* byte-identical to the retained
-// EvalExecutor::Barrier path (one flat parallelFor over fused units),
-// which serves as the built-in differential oracle (tests/eval_test.cpp,
-// bench_parallel_eval). toJson() uses fixed formatting; byte-identical
-// values make byte-identical documents, which CI checks by diffing a
-// --threads 1 run against a --threads 8 run and a --executor barrier run
-// against the graph default.
+// support::TaskGraph dependency-graph executor (support/graph.h). Each
+// scenario's generation is a shared upstream node; every (cell, policy)
+// unit then runs as a toolchain-stage node followed by a simulator-stage
+// node, with edges only on those true data dependences — so independent
+// chains overlap instead of rendezvousing at a batch-wide barrier. With
+// the stage cache enabled (the default), each (scenario, platform) cell
+// additionally gets a prefix node that warms the policy-independent
+// stages once, fanning out to the per-policy toolchain nodes. Every stage
+// writes into its own slot and the report is assembled strictly in unit
+// order afterwards, so the report is bit-identical for any thread count
+// (the ladder-order rule of docs/ARCHITECTURE.md) *and* byte-identical to
+// the retained EvalExecutor::Barrier path (one flat parallelFor over
+// fused units) and to a `--cache off` run — the two built-in differential
+// oracles (tests/eval_test.cpp, bench_parallel_eval). toJson() uses fixed
+// formatting; byte-identical values make byte-identical documents, which
+// CI checks by diffing --threads 1 vs --threads 8 runs, --executor
+// barrier vs the graph default, and --cache off vs the cached default.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/cache.h"
 #include "core/toolchain.h"
 #include "scenarios/generator.h"
 #include "scenarios/sweep.h"
@@ -62,13 +67,40 @@ enum class EvalExecutor {
   Graph,
 };
 
+/// How scenarios are paired with platform sweep cases.
+enum class SweepMode {
+  /// Scenario i runs on sweep case i % caseCount (the default): every
+  /// case is exercised without crossing the whole matrix.
+  Modulo,
+  /// Every scenario runs on every sweep case — the paper-style full
+  /// design-space cross product. Rows are ordered scenario-major, sweep
+  /// case next, policy innermost; cells sharing a scenario reuse the
+  /// stage prefix through the cache.
+  Cross,
+};
+
+/// Canonical lower-case name ("modulo" / "cross") — the JSON field value
+/// and the `--sweep-mode` CLI spelling.
+[[nodiscard]] const char* sweepModeName(SweepMode mode) noexcept;
+
+/// The sweep-case index scenario `scenarioIndex` is paired with in
+/// SweepMode::Modulo — the one definition of the documented
+/// `i % caseCount` rule. Both executors and the report assembly go
+/// through the cell list derived from this helper.
+[[nodiscard]] inline std::size_t moduloSweepCase(std::size_t scenarioIndex,
+                                                 std::size_t sweepCases) {
+  return scenarioIndex % sweepCases;
+}
+
 /// Configuration of one batch run.
 struct EvalOptions {
   /// Workload axis (the generator's seed is the batch seed).
   GeneratorOptions generator;
-  /// Platform axis. Scenario i runs on sweep case i % caseCount, so every
-  /// case is exercised without crossing the whole matrix.
+  /// Platform axis; pairing with scenarios is selected by `sweepMode`.
   SweepOptions sweep;
+  /// Scenario/platform pairing (default Modulo; Cross runs the full
+  /// scenario x platform matrix).
+  SweepMode sweepMode = SweepMode::Modulo;
   /// Number of generated scenarios (count, default 20).
   int scenarioCount = 20;
   /// Registry names of the policies to compare (default: empty = every
@@ -90,6 +122,17 @@ struct EvalOptions {
   /// "contention_oblivious", mirroring argo_cc), and both thread knobs to
   /// 1 (the batch owns the pool; pools do not nest).
   core::ToolchainOptions toolchain = defaultEvalToolchainOptions();
+  /// Memoize toolchain stages in one core::ToolchainCache shared by every
+  /// unit of the batch (default true). `false` runs every unit from
+  /// scratch — the built-in differential oracle: the report is
+  /// byte-identical either way (`argo_eval --cache off`, CI `cmp`).
+  bool cacheEnabled = true;
+  /// Optional externally owned cache reused across runEval calls — an
+  /// incremental re-sweep (same scenarios, a platform point or policy
+  /// added) then recomputes only what changed; this is the argod
+  /// content-addressed service pattern. null = a fresh per-batch cache.
+  /// Ignored when cacheEnabled is false.
+  std::shared_ptr<core::ToolchainCache> cache;
 };
 
 /// Result of one (scenario, policy) unit.
@@ -123,7 +166,9 @@ struct PolicyOutcome {
   }
 };
 
-/// All policies' outcomes on one scenario.
+/// All policies' outcomes on one (scenario, platform case) cell — one
+/// report row group. Modulo mode has one cell per scenario; Cross mode
+/// has scenarios x sweep cases of them.
 struct ScenarioResult {
   std::string scenario;
   std::uint64_t seed = 0;
@@ -142,16 +187,26 @@ struct ScenarioResult {
 /// The whole batch.
 struct EvalReport {
   std::uint64_t seed = 0;
+  SweepMode sweepMode = SweepMode::Modulo;
+  std::size_t scenarioCount = 0;   ///< Distinct generated scenarios (S).
+  std::size_t platformCases = 0;   ///< Sweep cases (C).
   std::vector<std::string> policies;  ///< Resolved request order.
-  std::vector<ScenarioResult> scenarios;
+  std::vector<ScenarioResult> scenarios;  ///< One entry per cell.
   bool allSimSafe = true;
+  /// Cumulative stage-cache counters, set when caching was enabled (for
+  /// an externally shared cache they cover its whole lifetime, not just
+  /// this batch). Rendered only under includeTimings: the hit/wait split
+  /// is thread-timing-dependent, so it must stay out of the canonical
+  /// report.
+  std::optional<core::ToolchainCacheStats> cacheStats;
 
   /// Renders the machine-readable report: one JSON document in the
   /// bench/common.h --json house style ({"bench":..., "rows":[...],
-  /// "summary":...}), one row per (scenario, policy) unit plus per-policy
+  /// "summary":...}), one row per (cell, policy) unit plus per-policy
   /// aggregates. Deterministic: fixed field order and fixed float
-  /// formatting; byte-identical across thread counts. Wall-clock fields
-  /// appear only when `includeTimings` (they vary run to run).
+  /// formatting; byte-identical across thread counts, executors, and
+  /// cache settings. Wall-clock and cache-counter fields appear only
+  /// when `includeTimings` (they vary run to run).
   [[nodiscard]] std::string toJson(bool includeTimings = false) const;
 };
 

@@ -16,6 +16,14 @@ Scheduler::Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform,
       succ_(graph.successors()),
       pred_(graph.predecessors()) {}
 
+Scheduler::Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform,
+                     std::vector<TaskTiming> timings)
+    : graph_(graph),
+      platform_(platform),
+      timings_(std::move(timings)),
+      succ_(graph.successors()),
+      pred_(graph.predecessors()) {}
+
 int Scheduler::effectiveCores(const SchedOptions& options) const {
   if (options.coreLimit <= 0) return platform_.coreCount();
   return std::min(options.coreLimit, platform_.coreCount());

@@ -27,6 +27,14 @@ class Scheduler {
   Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform,
             const SchedOptions& options = {});
 
+  /// Constructs with precomputed per-task timings instead of running the
+  /// timing analysis. `timings` must be computeTaskTimings(graph,
+  /// platform, ...) output for exactly this graph and platform — the
+  /// stage cache (core/cache.h) uses this to feed a memoized timing
+  /// vector into many schedule evaluations.
+  Scheduler(const htg::TaskGraph& graph, const adl::Platform& platform,
+            std::vector<TaskTiming> timings);
+
   /// Dispatches to the policy registered under `options.policy`. Throws
   /// ToolchainError for an empty graph or an unknown policy name (the
   /// error lists the registered names).

@@ -1,0 +1,15 @@
+#include "support/hash.h"
+
+#include <cstdio>
+
+namespace argo::support {
+
+std::string StageKey::text() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return std::string(buf);
+}
+
+}  // namespace argo::support

@@ -1,0 +1,138 @@
+// Stable content hashing for the toolchain stage cache.
+//
+// StageKey is a 128-bit digest of a canonical byte serialization (IR
+// printer text, platform-slice prints, option fields). Keys are compared
+// for equality only — a cache hit means "the serialized inputs were
+// byte-identical", and 128 bits make an accidental collision negligible
+// over any realistic sweep size. The hash is FNV-1a style over two
+// independently mixed 64-bit lanes: not cryptographic, but stable across
+// platforms, processes, and compiler versions (no pointer values, no
+// iteration-order dependence), which is what an on-disk cache will need.
+//
+// Hasher frames every typed feed with a tag byte, and strings with their
+// length, so adjacent fields cannot alias ("ab"+"c" never hashes like
+// "a"+"bc", and u64(1) never hashes like i64(1)).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace argo::support {
+
+/// 128-bit content-hash key of one memoized stage computation.
+struct StageKey {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const StageKey&, const StageKey&) = default;
+
+  /// Fixed 32-hex-digit rendering (diagnostics and future on-disk file
+  /// names).
+  [[nodiscard]] std::string text() const;
+};
+
+/// Hash functor for unordered containers keyed by StageKey: the key is
+/// already uniform, so one multiply-fold is enough.
+struct StageKeyHash {
+  [[nodiscard]] std::size_t operator()(const StageKey& k) const noexcept {
+    return static_cast<std::size_t>(k.lo ^ (k.hi * 0x9E3779B97F4A7C15ull));
+  }
+};
+
+/// Incremental two-lane FNV-1a hasher. Feed typed fields, then take the
+/// key. Every method returns *this so key derivations chain.
+class Hasher {
+ public:
+  /// Raw bytes, unframed — callers that use this directly own their own
+  /// framing; the typed feeds below are framed already.
+  Hasher& bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      a_ = (a_ ^ p[i]) * kFnvPrime;
+      b_ = (b_ ^ p[i]) * kMixPrime;
+    }
+    return *this;
+  }
+
+  /// Length-prefixed string.
+  Hasher& str(std::string_view s) noexcept {
+    tag('S');
+    raw64(static_cast<std::uint64_t>(s.size()));
+    return bytes(s.data(), s.size());
+  }
+
+  Hasher& u64(std::uint64_t v) noexcept {
+    tag('U');
+    raw64(v);
+    return *this;
+  }
+
+  Hasher& i64(std::int64_t v) noexcept {
+    tag('I');
+    raw64(static_cast<std::uint64_t>(v));
+    return *this;
+  }
+
+  Hasher& i32(std::int32_t v) noexcept {
+    tag('W');
+    raw64(static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+    return *this;
+  }
+
+  /// Bit pattern of the double: distinct representations hash apart,
+  /// which at worst costs a spurious miss, never a wrong hit.
+  Hasher& f64(double v) noexcept {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    tag('F');
+    raw64(bits);
+    return *this;
+  }
+
+  Hasher& boolean(bool v) noexcept {
+    tag('B');
+    const unsigned char byte = v ? 1 : 0;
+    return bytes(&byte, 1);
+  }
+
+  /// Fold a previously derived key in (stage chaining: downstream keys
+  /// embed their upstream stage's key).
+  Hasher& key(const StageKey& k) noexcept {
+    tag('K');
+    raw64(k.hi);
+    raw64(k.lo);
+    return *this;
+  }
+
+  [[nodiscard]] StageKey finish() const noexcept { return StageKey{a_, b_}; }
+
+ private:
+  void tag(char t) noexcept {
+    const unsigned char byte = static_cast<unsigned char>(t);
+    bytes(&byte, 1);
+  }
+
+  /// Little-endian by construction — independent of host byte order.
+  void raw64(std::uint64_t v) noexcept {
+    unsigned char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    bytes(buf, sizeof(buf));
+  }
+
+  static constexpr std::uint64_t kFnvOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+  /// Second lane: same byte stream, different offset and an odd mixing
+  /// constant, so the lanes decorrelate.
+  static constexpr std::uint64_t kMixOffset = 0x9AE16A3B2F90404Full;
+  static constexpr std::uint64_t kMixPrime = 0x9E3779B97F4A7C15ull;
+
+  std::uint64_t a_ = kFnvOffset;
+  std::uint64_t b_ = kMixOffset;
+};
+
+}  // namespace argo::support

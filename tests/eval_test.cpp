@@ -1,10 +1,13 @@
 // Batch-evaluator suite: thread-count determinism of the argo_eval
 // report, the graph-vs-barrier executor differential (the TaskGraph path
-// must reproduce the barrier path byte for byte), the policy-matrix smoke
-// check (every registered policy schedules every generated scenario, no
-// unexpected fallbacks), and the JSON shape.
+// must reproduce the barrier path byte for byte), the cache differential
+// (a --cache off run must reproduce the cached default byte for byte),
+// the cross-product sweep mode, the policy-matrix smoke check (every
+// registered policy schedules every generated scenario, no unexpected
+// fallbacks), and the JSON shape.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 
 #include "sched/bnb.h"
@@ -55,6 +58,131 @@ TEST(EvalDeterminism, GraphExecutorMatchesBarrierByteForByte) {
     EXPECT_EQ(scenarios::runEval(graph).toJson(), reference)
         << "graph threads=" << threads;
   }
+}
+
+TEST(EvalCacheDifferential, CacheOffMatchesCachedDefaultByteForByte) {
+  // The cache differential over the same 25-scenario slice the executor
+  // differential uses: an uncached run (every unit computed from scratch)
+  // is the oracle, and the cached default must reproduce it byte for
+  // byte at every thread count — hits return bit-identical values or
+  // this diff catches them.
+  scenarios::EvalOptions uncached = smallBatch();
+  uncached.scenarioCount = 25;
+  uncached.cacheEnabled = false;
+  uncached.threads = 1;
+  const std::string reference = scenarios::runEval(uncached).toJson();
+
+  scenarios::EvalOptions cached = uncached;
+  cached.cacheEnabled = true;
+  for (int threads : {1, 3, 8}) {
+    cached.threads = threads;
+    EXPECT_EQ(scenarios::runEval(cached).toJson(), reference)
+        << "cached threads=" << threads;
+  }
+}
+
+TEST(EvalCacheDifferential, CrossModeMatchesAcrossExecutorsAndCache) {
+  // The full differential matrix in cross mode: {cache on, off} x
+  // {barrier, graph} x {1, 8 threads} against one uncached sequential
+  // barrier reference.
+  scenarios::EvalOptions reference = smallBatch();
+  reference.scenarioCount = 4;
+  reference.sweepMode = scenarios::SweepMode::Cross;
+  reference.cacheEnabled = false;
+  reference.executor = scenarios::EvalExecutor::Barrier;
+  reference.threads = 1;
+  const std::string oracle = scenarios::runEval(reference).toJson();
+
+  for (const bool cacheEnabled : {false, true}) {
+    for (const scenarios::EvalExecutor executor :
+         {scenarios::EvalExecutor::Barrier, scenarios::EvalExecutor::Graph}) {
+      for (const int threads : {1, 8}) {
+        scenarios::EvalOptions options = reference;
+        options.cacheEnabled = cacheEnabled;
+        options.executor = executor;
+        options.threads = threads;
+        EXPECT_EQ(scenarios::runEval(options).toJson(), oracle)
+            << "cache=" << cacheEnabled << " executor="
+            << (executor == scenarios::EvalExecutor::Barrier ? "barrier"
+                                                             : "graph")
+            << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(EvalCacheDifferential, SharedCacheRerunIsByteIdenticalAndAllHits) {
+  // The incremental re-sweep pattern: a second batch against an already
+  // populated external cache recomputes no schedules and still renders
+  // the identical report.
+  scenarios::EvalOptions options = smallBatch();
+  options.scenarioCount = 4;
+  options.threads = 8;
+  options.cache = std::make_shared<core::ToolchainCache>();
+  const std::string first = scenarios::runEval(options).toJson();
+  const core::ToolchainCacheStats cold = options.cache->stats();
+  const std::string second = scenarios::runEval(options).toJson();
+  const core::ToolchainCacheStats warm = options.cache->stats();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(cold.schedules.misses, warm.schedules.misses);
+  EXPECT_EQ(cold.transforms.misses, warm.transforms.misses);
+  EXPECT_GT(warm.schedules.hits, cold.schedules.hits);
+}
+
+TEST(EvalCrossMode, FullMatrixScenarioMajorAndModuloDefault) {
+  scenarios::EvalOptions options = smallBatch();
+  options.scenarioCount = 3;
+  options.policies = {"heft"};
+  const std::size_t cases =
+      scenarios::buildPlatformSweep(options.sweep).size();
+
+  // Modulo (the default): one cell per scenario, case i % caseCount.
+  const scenarios::EvalReport modulo = scenarios::runEval(options);
+  EXPECT_EQ(modulo.sweepMode, scenarios::SweepMode::Modulo);
+  EXPECT_EQ(modulo.scenarioCount, 3u);
+  EXPECT_EQ(modulo.platformCases, cases);
+  ASSERT_EQ(modulo.scenarios.size(), 3u);
+
+  // Cross: every scenario on every case, rows scenario-major.
+  options.sweepMode = scenarios::SweepMode::Cross;
+  const scenarios::EvalReport cross = scenarios::runEval(options);
+  EXPECT_EQ(cross.sweepMode, scenarios::SweepMode::Cross);
+  ASSERT_EQ(cross.scenarios.size(), 3u * cases);
+  const std::vector<scenarios::PlatformCase> sweep =
+      scenarios::buildPlatformSweep(options.sweep);
+  for (std::size_t cell = 0; cell < cross.scenarios.size(); ++cell) {
+    const scenarios::ScenarioResult& row = cross.scenarios[cell];
+    EXPECT_EQ(row.scenario, modulo.scenarios[cell / cases].scenario);
+    EXPECT_EQ(row.platformCase, sweep[cell % cases].name);
+  }
+  // Each modulo cell appears verbatim inside the cross matrix at
+  // (scenario, moduloSweepCase(scenario)).
+  for (std::size_t s = 0; s < 3u; ++s) {
+    const std::size_t at =
+        s * cases + scenarios::moduloSweepCase(s, cases);
+    EXPECT_EQ(cross.scenarios[at].platformCase,
+              modulo.scenarios[s].platformCase);
+    ASSERT_FALSE(cross.scenarios[at].outcomes.empty());
+    EXPECT_EQ(cross.scenarios[at].outcomes.front().bound,
+              modulo.scenarios[s].outcomes.front().bound);
+  }
+}
+
+TEST(EvalCacheStats, RenderedOnlyWithTimingsAndWhenEnabled) {
+  scenarios::EvalOptions options = smallBatch();
+  options.scenarioCount = 2;
+  options.policies = {"heft"};
+  const scenarios::EvalReport cached = scenarios::runEval(options);
+  ASSERT_TRUE(cached.cacheStats.has_value());
+  // The counters exist but stay out of the canonical report: the
+  // hit/wait split depends on thread timing.
+  EXPECT_EQ(cached.toJson(false).find("cache_stats"), std::string::npos);
+  EXPECT_NE(cached.toJson(true).find("cache_stats"), std::string::npos);
+
+  options.cacheEnabled = false;
+  const scenarios::EvalReport uncached = scenarios::runEval(options);
+  EXPECT_FALSE(uncached.cacheStats.has_value());
+  EXPECT_EQ(uncached.toJson(true).find("cache_stats"), std::string::npos);
 }
 
 TEST(EvalPolicyMatrix, EveryRegisteredPolicySchedulesEveryScenario) {

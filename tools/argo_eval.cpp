@@ -20,6 +20,17 @@
 //                       barrier = one flat parallelFor over fused units.
 //                       The report is byte-identical either way — the A/B
 //                       pair is the executor-differential oracle.
+//   --sweep-mode NAME   modulo | cross                  (default modulo)
+//                       modulo = scenario i on sweep case i % caseCount;
+//                       cross = every scenario on every sweep case (the
+//                       full design-space product; rows scenario-major).
+//   --cache NAME        on | off                            (default on)
+//                       on = memoize toolchain stages in a shared
+//                       content-hash cache (core/cache.h); off = compute
+//                       every unit from scratch. The report is
+//                       byte-identical either way — the A/B pair is the
+//                       cache-differential oracle. Cache counters appear
+//                       in the JSON only together with --timings.
 //   --policies a,b,..   registry names to compare   (default: all registered)
 //                       (accepts the argo_cc aliases bnb / oblivious;
 //                       unknown names are rejected up front with the
@@ -59,7 +70,8 @@ using namespace argo;
   std::fprintf(
       stderr,
       "usage: %s [--seed N] [--scenarios N] [--threads N] [--policies a,b]\n"
-      "          [--executor graph|barrier]\n"
+      "          [--executor graph|barrier] [--sweep-mode modulo|cross]\n"
+      "          [--cache on|off]\n"
       "          [--sim-trials N] [--layers MIN:MAX] [--width MIN:MAX]\n"
       "          [--array-len MIN:MAX] [--ccr X] [--spread X]\n"
       "          [--shape layered_dag|stencil_chain] [--stencil-radius N]\n"
@@ -131,6 +143,26 @@ int main(int argc, char** argv) {
         } else {
           throw support::ToolchainError("unknown executor '" + name +
                                         "' (expected graph or barrier)");
+        }
+      } else if (arg == "--sweep-mode") {
+        const std::string name = value(i);
+        if (name == "modulo") {
+          options.sweepMode = scenarios::SweepMode::Modulo;
+        } else if (name == "cross") {
+          options.sweepMode = scenarios::SweepMode::Cross;
+        } else {
+          throw support::ToolchainError("unknown sweep mode '" + name +
+                                        "' (expected modulo or cross)");
+        }
+      } else if (arg == "--cache") {
+        const std::string name = value(i);
+        if (name == "on") {
+          options.cacheEnabled = true;
+        } else if (name == "off") {
+          options.cacheEnabled = false;
+        } else {
+          throw support::ToolchainError("unknown cache setting '" + name +
+                                        "' (expected on or off)");
         }
       } else if (arg == "--sim-trials") {
         options.simTrials = std::stoi(value(i));

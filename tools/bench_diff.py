@@ -76,6 +76,15 @@ def diff(old, new, out=sys.stdout):
     print(f"BENCH_eval diff: {len(old['rows'])} old rows, "
           f"{len(new['rows'])} new rows, {matched} matched "
           f"(seed {old.get('seed')} -> {new.get('seed')})", file=out)
+    # Cross-product header fields (PR 8+ schema): absent in older
+    # reports, which implicitly ran modulo mode. Surface a mode change —
+    # it redefines the row population, so a shrinking 'matched' count
+    # above is then expected rather than a regression.
+    if "sweep_mode" in old or "sweep_mode" in new:
+        print(f"sweep_mode: {old.get('sweep_mode', 'modulo')} -> "
+              f"{new.get('sweep_mode', 'modulo')}, platform_cases: "
+              f"{old.get('platform_cases', 'n/a')} -> "
+              f"{new.get('platform_cases', 'n/a')}", file=out)
     header = (f"{'policy':<22} {'wins':<16} {'mean_tightness':<28} "
               f"{'mean_bound_speedup':<28} {'mean_bound_delta':<16} wall_ms")
     print(header, file=out)
@@ -100,6 +109,21 @@ def diff(old, new, out=sys.stdout):
                       new["summary"].get("total_wall_ms"))
     if total != "n/a":
         print(f"total_wall_ms: {total}", file=out)
+    # Stage-cache counters (PR 8+ schema, emitted only under --timings).
+    # Purely informational: the hit/wait split is thread-timing-dependent,
+    # so only the per-stage hit *rate* trajectory is worth reading.
+    old_cache = old["summary"].get("cache_stats") or {}
+    new_cache = new["summary"].get("cache_stats") or {}
+    def hit_rate(stats):
+        if not stats:
+            return "n/a"
+        lookups = (stats.get("hits", 0) + stats.get("misses", 0) +
+                   stats.get("inflight_waits", 0))
+        return f"{stats.get('hits', 0) / lookups:.4f}" if lookups else "n/a"
+
+    for stage in sorted(set(old_cache) | set(new_cache)):
+        print(f"cache_hit_rate[{stage}]: {hit_rate(old_cache.get(stage))} "
+              f"-> {hit_rate(new_cache.get(stage))}", file=out)
 
 
 def _fixture(bound, tightness, wall):
@@ -125,6 +149,18 @@ def _fixture(bound, tightness, wall):
     }
 
 
+def _cross_fixture(bound, tightness, wall):
+    """A PR 8+ report: cross-product header plus cache counters."""
+    report = _fixture(bound, tightness, wall)
+    report["sweep_mode"] = "cross"
+    report["platform_cases"] = 9
+    report["summary"]["cache_stats"] = {
+        "transforms": {"hits": 30, "misses": 10, "inflight_waits": 0},
+        "schedules": {"hits": 0, "misses": 40, "inflight_waits": 0},
+    }
+    return report
+
+
 def self_test():
     import io
     out = io.StringIO()
@@ -136,6 +172,31 @@ def self_test():
         if needle not in text:
             raise SystemExit(
                 f"bench_diff --self-test: missing {needle!r} in:\n{text}")
+    # Legacy fields only when neither side carries the PR 8+ schema.
+    for absent in ("sweep_mode", "cache_hit_rate"):
+        if absent in text:
+            raise SystemExit(
+                f"bench_diff --self-test: unexpected {absent!r} in:\n{text}")
+
+    # Mixed schemas: an old pre-cross report diffed against a new
+    # cross-product one (the first CI run after the schema change) must
+    # not crash and must surface the mode change and the cache counters.
+    out = io.StringIO()
+    diff(_fixture(1000, 0.8, 10.0), _cross_fixture(900, 0.85, 12.0), out=out)
+    text = out.getvalue()
+    for needle in ("sweep_mode: modulo -> cross",
+                   "platform_cases: n/a -> 9",
+                   "cache_hit_rate[transforms]: n/a -> 0.7500",
+                   "cache_hit_rate[schedules]: n/a -> 0.0000"):
+        if needle not in text:
+            raise SystemExit(
+                f"bench_diff --self-test: missing {needle!r} in:\n{text}")
+    # And the reverse direction (comparing back across the schema change).
+    out = io.StringIO()
+    diff(_cross_fixture(1000, 0.8, 10.0), _fixture(900, 0.85, 12.0), out=out)
+    if "sweep_mode: cross -> modulo" not in out.getvalue():
+        raise SystemExit("bench_diff --self-test: reverse-direction "
+                         f"sweep_mode line missing in:\n{out.getvalue()}")
     print("bench_diff self-test ok")
 
 
