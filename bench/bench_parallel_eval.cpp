@@ -10,7 +10,9 @@
 // head against uncached evaluation: "cold" is a fresh cache amortized
 // within one batch, "warm" is an incremental re-sweep against an already
 // populated cache — the argod content-addressed-service pattern, and the
-// headline speedup of the caching layer. Every row also verifies the
+// headline speedup of the caching layer — and "disk_warm" re-runs with a
+// fresh in-memory cache filled entirely from an on-disk cache directory
+// (support/disk_cache.h), the cross-process warm start. Every row also verifies the
 // rendered JSON reports are byte-identical across engines, thread counts,
 // and cache settings — the per-unit slots plus ladder-order assembly make
 // the batch independent of how units interleave, and the barrier and
@@ -18,6 +20,9 @@
 // cached paths. `--json` emits the same rows as one machine-readable JSON
 // document.
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -145,6 +150,29 @@ int main(int argc, char** argv) {
   report.addRow(argo::bench::ParallelBenchRow{
       "cross6", "cache_warm", crossUnits, crossUncachedMs, crossWarmMs,
       crossWarm == crossUncached});
+
+  // cross6/disk_warm: the cross-process warm start. A first batch
+  // populates a disk cache directory (support/disk_cache.h); the timed
+  // run then starts with a FRESH in-memory cache — as a new process
+  // would — and fills it entirely from disk. The gap between this row
+  // and cache_warm is the cost of deserializing records instead of
+  // sharing live memory.
+  std::string cacheDir =
+      (std::filesystem::temp_directory_path() / "argo_bench_disk_XXXXXX")
+          .string();
+  if (mkdtemp(cacheDir.data()) == nullptr) {
+    throw std::runtime_error("mkdtemp failed for " + cacheDir);
+  }
+  cross.cache.reset();
+  cross.cacheDir = cacheDir;
+  double diskColdMs = 0.0;
+  (void)timedEval(cross, diskColdMs);  // populate only
+  double diskWarmMs = 0.0;
+  const std::string diskWarm = timedEval(cross, diskWarmMs);
+  report.addRow(argo::bench::ParallelBenchRow{
+      "cross6", "disk_warm", crossUnits, crossUncachedMs, diskWarmMs,
+      diskWarm == crossUncached});
+  std::filesystem::remove_all(cacheDir);
 
   return report.finish();
 }

@@ -120,12 +120,12 @@ void Toolchain::warmSharedStages(const model::CompiledModel& model) const {
   if (cache == nullptr) return;
 
   const std::shared_ptr<const TransformsStage> transformed =
-      cache->transforms.getOrCompute(
+      cache->getTransforms(
           transformsKey(ir::toString(*model.fn), platform_,
                         options_.runTransforms, options_.spmAllocation),
           [&] { return makeTransformsStage(model, platform_, options_); });
 
-  (void)cache->sequentialWcet.getOrCompute(
+  (void)cache->getSequentialWcet(
       sequentialWcetKey(transformed->irKey, platform_), [&] {
         const wcet::TimingModel model0 =
             wcet::TimingModel::forTile(platform_, 0);
@@ -141,7 +141,7 @@ void Toolchain::warmSharedStages(const model::CompiledModel& model) const {
     const support::StageKey expKey = expansionKey(
         transformed->irKey, plan.chunks, options_.mergeScalarChains);
     const std::shared_ptr<const ExpandStage> expanded =
-        cache->expansion.getOrCompute(expKey, [&] {
+        cache->getExpansion(expKey, transformed, [&] {
           ExpandStage stage;
           stage.source = transformed;
           htg::ExpandOptions expandOptions;
@@ -152,7 +152,7 @@ void Toolchain::warmSharedStages(const model::CompiledModel& model) const {
               htg::expand(source, expandOptions));
           return stage;
         });
-    (void)cache->timings.getOrCompute(timingsKey(expKey, platform_), [&] {
+    (void)cache->getTimings(timingsKey(expKey, platform_), [&] {
       return sched::computeTaskTimings(*expanded->graph, platform_,
                                        /*parallelThreads=*/1);
     });
@@ -171,7 +171,7 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
   std::shared_ptr<const TransformsStage> transformed;
   clock.time("transforms", [&] {
     if (cache != nullptr) {
-      transformed = cache->transforms.getOrCompute(
+      transformed = cache->getTransforms(
           transformsKey(ir::toString(*model.fn), platform_,
                         options_.runTransforms, options_.spmAllocation),
           [&] { return makeTransformsStage(model, platform_, options_); });
@@ -192,7 +192,7 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
     };
     result.sequentialWcet =
         cache != nullptr
-            ? *cache->sequentialWcet.getOrCompute(
+            ? *cache->getSequentialWcet(
                   sequentialWcetKey(transformed->irKey, platform_), analyze)
             : analyze();
   });
@@ -254,7 +254,7 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
     if (cache != nullptr) {
       const support::StageKey expKey = expansionKey(
           transformed->irKey, plan.chunks, options_.mergeScalarChains);
-      eval.expansion = cache->expansion.getOrCompute(expKey, [&] {
+      eval.expansion = cache->getExpansion(expKey, transformed, [&] {
         ExpandStage stage;
         stage.source = transformed;
         const htg::Htg source = htg::buildHtg(*transformed->fn);
@@ -263,11 +263,11 @@ ToolchainResult Toolchain::run(const model::CompiledModel& model) const {
         return stage;
       });
       const support::StageKey timKey = timingsKey(expKey, platform_);
-      eval.timings = cache->timings.getOrCompute(timKey, [&] {
+      eval.timings = cache->getTimings(timKey, [&] {
         return sched::computeTaskTimings(*eval.expansion->graph, platform_,
                                          schedOptions.parallelThreads);
       });
-      eval.outcome = cache->schedules.getOrCompute(
+      eval.outcome = cache->getSchedules(
           scheduleKey(timKey, platform_, schedOptions, options_.interference),
           [&] {
             const sched::Scheduler scheduler(*eval.expansion->graph, platform_,

@@ -1,0 +1,328 @@
+#include "ir/serialize.h"
+
+#include <utility>
+
+namespace argo::ir {
+namespace {
+
+using support::ByteReader;
+using support::ByteWriter;
+
+// --- encoding -----------------------------------------------------------
+
+void writeType(const Type& t, ByteWriter& w) {
+  w.u64(static_cast<std::uint64_t>(t.kind()));
+  w.u64(t.dims().size());
+  for (int d : t.dims()) w.i64(d);
+}
+
+void writeExpr(const Expr& e, ByteWriter& w);
+
+void writeExprList(const std::vector<ExprPtr>& list, ByteWriter& w) {
+  w.u64(list.size());
+  for (const auto& e : list) writeExpr(*e, w);
+}
+
+void writeExpr(const Expr& e, ByteWriter& w) {
+  w.u64(static_cast<std::uint64_t>(e.kind()));
+  switch (e.kind()) {
+    case ExprKind::IntLit:
+      w.i64(cast<IntLit>(e).value());
+      return;
+    case ExprKind::FloatLit:
+      w.f64(cast<FloatLit>(e).value());
+      return;
+    case ExprKind::BoolLit:
+      w.boolean(cast<BoolLit>(e).value());
+      return;
+    case ExprKind::VarRef: {
+      const auto& v = cast<VarRef>(e);
+      w.str(v.name());
+      writeExprList(v.indices(), w);
+      return;
+    }
+    case ExprKind::BinOp: {
+      const auto& b = cast<BinOp>(e);
+      w.u64(static_cast<std::uint64_t>(b.op()));
+      writeExpr(b.lhs(), w);
+      writeExpr(b.rhs(), w);
+      return;
+    }
+    case ExprKind::UnOp: {
+      const auto& u = cast<UnOp>(e);
+      w.u64(static_cast<std::uint64_t>(u.op()));
+      writeExpr(u.operand(), w);
+      return;
+    }
+    case ExprKind::Call: {
+      const auto& c = cast<Call>(e);
+      w.str(c.callee());
+      writeExprList(c.args(), w);
+      return;
+    }
+    case ExprKind::Select: {
+      const auto& s = cast<Select>(e);
+      writeExpr(s.cond(), w);
+      writeExpr(s.onTrue(), w);
+      writeExpr(s.onFalse(), w);
+      return;
+    }
+  }
+}
+
+void writeStmt(const Stmt& s, ByteWriter& w);
+
+void writeBlock(const Block& b, ByteWriter& w) {
+  w.str(b.label);
+  w.u64(b.size());
+  for (const auto& s : b.stmts()) writeStmt(*s, w);
+}
+
+void writeStmt(const Stmt& s, ByteWriter& w) {
+  w.u64(static_cast<std::uint64_t>(s.kind()));
+  switch (s.kind()) {
+    case StmtKind::Block:
+      writeBlock(cast<Block>(s), w);
+      return;
+    case StmtKind::Assign: {
+      const auto& a = cast<Assign>(s);
+      w.str(a.label);
+      writeExpr(a.lhs(), w);
+      writeExpr(a.rhs(), w);
+      return;
+    }
+    case StmtKind::For: {
+      const auto& f = cast<For>(s);
+      w.str(f.label);
+      w.str(f.var());
+      w.i64(f.lower());
+      w.i64(f.upper());
+      w.i64(f.step());
+      writeBlock(f.body(), w);
+      return;
+    }
+    case StmtKind::If: {
+      const auto& i = cast<If>(s);
+      w.str(i.label);
+      writeExpr(i.cond(), w);
+      writeBlock(i.thenBody(), w);
+      writeBlock(i.elseBody(), w);
+      return;
+    }
+  }
+}
+
+// --- decoding -----------------------------------------------------------
+
+/// Reads an enum-as-u64 and range-checks it against [0, limit]. On
+/// violation the reader is invalidated and `limit` returned (callers stop
+/// on !r.ok() before the value matters).
+template <typename E>
+[[nodiscard]] E readEnum(ByteReader& r, E limit) {
+  const std::uint64_t raw = r.u64();
+  if (!r.ok() || raw > static_cast<std::uint64_t>(limit)) {
+    r.invalidate();
+    return limit;
+  }
+  return static_cast<E>(raw);
+}
+
+[[nodiscard]] Type readType(ByteReader& r) {
+  const ScalarKind kind = readEnum(r, ScalarKind::Float64);
+  const std::size_t rank = r.count();
+  std::vector<int> dims;
+  dims.reserve(rank);
+  for (std::size_t i = 0; i < rank && r.ok(); ++i) {
+    const std::int64_t d = r.i64();
+    if (d < 1 || d > INT32_MAX) {
+      r.invalidate();
+      break;
+    }
+    dims.push_back(static_cast<int>(d));
+  }
+  if (!r.ok()) return Type();
+  return dims.empty() ? Type::scalar(kind)
+                      : Type::array(kind, std::move(dims));
+}
+
+[[nodiscard]] ExprPtr readExpr(ByteReader& r);
+
+[[nodiscard]] std::vector<ExprPtr> readExprList(ByteReader& r) {
+  const std::size_t n = r.count();
+  std::vector<ExprPtr> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ExprPtr e = readExpr(r);
+    if (!e) return {};
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+[[nodiscard]] std::unique_ptr<VarRef> readVarRef(ByteReader& r) {
+  std::string name = r.str();
+  std::vector<ExprPtr> indices = readExprList(r);
+  if (!r.ok()) return nullptr;
+  return std::make_unique<VarRef>(std::move(name), std::move(indices));
+}
+
+[[nodiscard]] ExprPtr readExpr(ByteReader& r) {
+  const ExprKind kind = readEnum(r, ExprKind::Select);
+  if (!r.ok()) return nullptr;
+  switch (kind) {
+    case ExprKind::IntLit: {
+      const std::int64_t v = r.i64();
+      if (!r.ok()) return nullptr;
+      return std::make_unique<IntLit>(v);
+    }
+    case ExprKind::FloatLit: {
+      const double v = r.f64();
+      if (!r.ok()) return nullptr;
+      return std::make_unique<FloatLit>(v);
+    }
+    case ExprKind::BoolLit: {
+      const bool v = r.boolean();
+      if (!r.ok()) return nullptr;
+      return std::make_unique<BoolLit>(v);
+    }
+    case ExprKind::VarRef:
+      return readVarRef(r);
+    case ExprKind::BinOp: {
+      const BinOpKind op = readEnum(r, BinOpKind::Or);
+      ExprPtr lhs = readExpr(r);
+      ExprPtr rhs = lhs ? readExpr(r) : nullptr;
+      if (!rhs || !r.ok()) return nullptr;
+      return std::make_unique<BinOp>(op, std::move(lhs), std::move(rhs));
+    }
+    case ExprKind::UnOp: {
+      const UnOpKind op = readEnum(r, UnOpKind::ToInt);
+      ExprPtr operand = readExpr(r);
+      if (!operand || !r.ok()) return nullptr;
+      return std::make_unique<UnOp>(op, std::move(operand));
+    }
+    case ExprKind::Call: {
+      std::string callee = r.str();
+      std::vector<ExprPtr> args = readExprList(r);
+      if (!r.ok()) return nullptr;
+      return std::make_unique<Call>(std::move(callee), std::move(args));
+    }
+    case ExprKind::Select: {
+      ExprPtr cond = readExpr(r);
+      ExprPtr onTrue = cond ? readExpr(r) : nullptr;
+      ExprPtr onFalse = onTrue ? readExpr(r) : nullptr;
+      if (!onFalse || !r.ok()) return nullptr;
+      return std::make_unique<Select>(std::move(cond), std::move(onTrue),
+                                      std::move(onFalse));
+    }
+  }
+  return nullptr;
+}
+
+[[nodiscard]] StmtPtr readStmt(ByteReader& r);
+
+[[nodiscard]] std::unique_ptr<Block> readBlock(ByteReader& r) {
+  std::string label = r.str();
+  const std::size_t n = r.count();
+  auto block = std::make_unique<Block>();
+  block->label = std::move(label);
+  for (std::size_t i = 0; i < n; ++i) {
+    StmtPtr s = readStmt(r);
+    if (!s) return nullptr;
+    block->append(std::move(s));
+  }
+  if (!r.ok()) return nullptr;
+  return block;
+}
+
+[[nodiscard]] StmtPtr readStmt(ByteReader& r) {
+  const StmtKind kind = readEnum(r, StmtKind::Block);
+  if (!r.ok()) return nullptr;
+  switch (kind) {
+    case StmtKind::Block:
+      return readBlock(r);
+    case StmtKind::Assign: {
+      std::string label = r.str();
+      // The lhs was written through writeExpr, kind tag included; it must
+      // decode back specifically to a VarRef.
+      const ExprKind lhsKind = readEnum(r, ExprKind::Select);
+      if (!r.ok() || lhsKind != ExprKind::VarRef) {
+        r.invalidate();
+        return nullptr;
+      }
+      std::unique_ptr<VarRef> lhs = readVarRef(r);
+      ExprPtr rhs = lhs ? readExpr(r) : nullptr;
+      if (!rhs || !r.ok()) return nullptr;
+      auto stmt = std::make_unique<Assign>(std::move(lhs), std::move(rhs));
+      stmt->label = std::move(label);
+      return stmt;
+    }
+    case StmtKind::For: {
+      std::string label = r.str();
+      std::string var = r.str();
+      const std::int64_t lower = r.i64();
+      const std::int64_t upper = r.i64();
+      const std::int64_t step = r.i64();
+      std::unique_ptr<Block> body = r.ok() ? readBlock(r) : nullptr;
+      if (!body || !r.ok()) return nullptr;
+      auto stmt = std::make_unique<For>(std::move(var), lower, upper,
+                                        std::move(body), step);
+      stmt->label = std::move(label);
+      return stmt;
+    }
+    case StmtKind::If: {
+      std::string label = r.str();
+      ExprPtr cond = readExpr(r);
+      std::unique_ptr<Block> thenBody = cond ? readBlock(r) : nullptr;
+      std::unique_ptr<Block> elseBody = thenBody ? readBlock(r) : nullptr;
+      if (!elseBody || !r.ok()) return nullptr;
+      auto stmt = std::make_unique<If>(std::move(cond), std::move(thenBody),
+                                       std::move(elseBody));
+      stmt->label = std::move(label);
+      return stmt;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void serializeFunction(const Function& fn, ByteWriter& w) {
+  w.str(fn.name());
+  w.u64(fn.decls().size());
+  for (const VarDecl& d : fn.decls()) {
+    w.str(d.name);
+    writeType(d.type, w);
+    w.u64(static_cast<std::uint64_t>(d.role));
+    w.u64(static_cast<std::uint64_t>(d.storage));
+  }
+  writeBlock(fn.body(), w);
+}
+
+void serializeStmt(const Stmt& s, ByteWriter& w) { writeStmt(s, w); }
+
+StmtPtr deserializeStmt(ByteReader& r) { return readStmt(r); }
+
+std::unique_ptr<Function> deserializeFunction(ByteReader& r) {
+  std::string name = r.str();
+  const std::size_t declCount = r.count();
+  if (!r.ok()) return nullptr;
+  auto fn = std::make_unique<Function>(std::move(name));
+  for (std::size_t i = 0; i < declCount; ++i) {
+    VarDecl d;
+    d.name = r.str();
+    d.type = readType(r);
+    d.role = readEnum(r, VarRole::Const);
+    d.storage = readEnum(r, Storage::Shared);
+    if (!r.ok() || fn->find(d.name) != nullptr) {
+      r.invalidate();
+      return nullptr;
+    }
+    fn->declare(std::move(d));
+  }
+  std::unique_ptr<Block> body = readBlock(r);
+  if (!body || !r.ok()) return nullptr;
+  fn->setBody(std::move(body));
+  return fn;
+}
+
+}  // namespace argo::ir

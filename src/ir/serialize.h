@@ -1,0 +1,48 @@
+// Binary (de)serialization of ARGO IR function trees.
+//
+// The textual printer (ir/printer.h) is for humans and for content hashing;
+// round-tripping it is explicitly a non-goal and there is no parser. The
+// on-disk stage cache (support/disk_cache.h) needs actual Function values
+// back, so this module defines the one canonical binary encoding: a
+// pre-order walk of the tree in the tagged ByteWriter framing, every enum
+// written as its integer value and *range-checked on read*.
+//
+// Decoding is total: deserializeFunction() returns nullptr on any
+// malformed input — unknown node kind, out-of-range enum, duplicate
+// declaration, absurd counts, trailing bytes — and never throws or
+// crashes. In the cache stack the payload bytes have already passed the
+// record checksum, so a decode failure there means version-skew inside an
+// up-to-date envelope or an encoder bug; either way the caller treats it
+// as a reject and recomputes.
+//
+// The encoding covers everything the toolchain's cached stages observe:
+// name, declarations (name/type/role/storage, in declaration order —
+// order is meaningful, the evaluator's environment layout follows it) and
+// the full statement/expression tree including statement labels (task
+// names derive from them).
+#pragma once
+
+#include <memory>
+
+#include "ir/function.h"
+#include "support/disk_cache.h"
+
+namespace argo::ir {
+
+/// Appends the canonical binary encoding of `fn` to `w`.
+void serializeFunction(const Function& fn, support::ByteWriter& w);
+
+/// Decodes one Function previously written by serializeFunction.
+/// Returns nullptr (leaving `r` failed) on any malformed input; on
+/// success the reader is positioned just past the function, so multiple
+/// values can share one payload stream.
+[[nodiscard]] std::unique_ptr<Function> deserializeFunction(
+    support::ByteReader& r);
+
+/// Statement-level entry points (task bodies in the cached task graphs
+/// are statement clones, not whole functions). Same contract as the
+/// function pair.
+void serializeStmt(const Stmt& s, support::ByteWriter& w);
+[[nodiscard]] StmtPtr deserializeStmt(support::ByteReader& r);
+
+}  // namespace argo::ir

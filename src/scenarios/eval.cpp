@@ -243,6 +243,9 @@ EvalReport runEval(const EvalOptions& options) {
   if (options.cacheEnabled) {
     cache = options.cache != nullptr ? options.cache
                                      : std::make_shared<core::ToolchainCache>();
+    if (!options.cacheDir.empty() && cache->disk() == nullptr) {
+      cache->attachDisk(options.cacheDir);
+    }
   }
 
   // Every stage writes its own slot; the assembly below reads them
@@ -454,6 +457,20 @@ std::string EvalReport::toJson(bool includeTimings) const {
     stage("timings", cacheStats->timings);
     out += ",";
     stage("schedules", cacheStats->schedules);
+    if (cacheStats->disk.has_value()) {
+      // Disk-tier counters, present only when --cache-dir was given. The
+      // reject count is also printed on stderr unconditionally (it is
+      // determinism-relevant); this block is the full picture.
+      const support::DiskCacheStats& d = *cacheStats->disk;
+      appendf(out, ",\"disk\":{\"hits\":%llu,\"misses\":%llu,"
+                   "\"rejects\":%llu,\"stores\":%llu,"
+                   "\"store_failures\":%llu}",
+              static_cast<unsigned long long>(d.hits),
+              static_cast<unsigned long long>(d.misses),
+              static_cast<unsigned long long>(d.rejects),
+              static_cast<unsigned long long>(d.stores),
+              static_cast<unsigned long long>(d.storeFailures));
+    }
     out += "}";
   }
   if (includeTimings) appendf(out, ",\"total_wall_ms\":%.3f", totalWallMs);

@@ -133,6 +133,13 @@ struct EvalOptions {
   /// content-addressed service pattern. null = a fresh per-batch cache.
   /// Ignored when cacheEnabled is false.
   std::shared_ptr<core::ToolchainCache> cache;
+  /// On-disk cache directory (`argo_eval --cache-dir` / ARGO_CACHE_DIR):
+  /// when non-empty, the batch cache gets a support::DiskCache tier, so
+  /// a rerun in a fresh process starts warm. Byte-identity is unchanged
+  /// (the disk-tier differential oracle in tests/eval_test.cpp + CI).
+  /// Ignored when cacheEnabled is false, or when the caller passed a
+  /// `cache` that already has a disk tier attached.
+  std::string cacheDir;
 };
 
 /// Result of one (scenario, policy) unit.

@@ -1,0 +1,178 @@
+#include "support/disk_cache.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include <unistd.h>
+
+namespace argo::support {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'A', 'R', 'G', 'O', 'C', 'A', 'C', 'H'};
+
+/// Envelope checksum over the header fields and the payload. Two-lane
+/// FNV-1a via Hasher — the same 128-bit digest discipline as the keys,
+/// strong enough to catch truncation and bit-rot (the threat model;
+/// records are trusted-origin, not adversarial crypto inputs).
+StageKey recordChecksum(std::string_view stage, const StageKey& key,
+                        std::string_view payload) {
+  Hasher h;
+  h.str("disk-cache-record");
+  h.u64(kDiskCacheFormatVersion);
+  h.str(stage);
+  h.key(key);
+  h.str(payload);
+  return h.finish();
+}
+
+/// Record image = fixed envelope around the payload:
+///   magic(8) | u64 version | str stage | key | str payload | key checksum
+/// using the same tagged framing as the payloads themselves, so one
+/// reader validates everything.
+std::string encodeRecord(std::string_view stage, const StageKey& key,
+                         std::string_view payload) {
+  std::string out(kMagic, sizeof(kMagic));
+  ByteWriter w;
+  w.u64(kDiskCacheFormatVersion);
+  w.str(stage);
+  w.key(key);
+  w.str(payload);
+  w.key(recordChecksum(stage, key, payload));
+  out += w.bytes();
+  return out;
+}
+
+/// Reads a whole file; nullopt on any I/O error. Size is not trusted —
+/// the envelope validation decides whether the bytes mean anything.
+std::optional<std::string> readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) return std::nullopt;
+  return data;
+}
+
+}  // namespace
+
+DiskCache::DiskCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string DiskCache::recordPath(std::string_view stage,
+                                  const StageKey& key) const {
+  std::string path = dir_;
+  path += '/';
+  path.append(stage.data(), stage.size());
+  path += '/';
+  path += key.text();
+  path += ".rec";
+  return path;
+}
+
+std::optional<std::string> DiskCache::load(std::string_view stage,
+                                           const StageKey& key) {
+  std::optional<std::string> data;
+  try {
+    data = readFile(recordPath(stage, key));
+  } catch (...) {
+    data = std::nullopt;
+  }
+  if (!data) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+
+  // Validation ladder: size -> magic -> version -> stage -> key ->
+  // payload frame -> checksum. Each rung rejects without touching
+  // anything the later rungs would read.
+  const auto reject = [this]() -> std::optional<std::string> {
+    rejects_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  };
+  if (data->size() < sizeof(kMagic) ||
+      data->compare(0, sizeof(kMagic), kMagic, sizeof(kMagic)) != 0) {
+    return reject();
+  }
+  ByteReader r(std::string_view(*data).substr(sizeof(kMagic)));
+  if (r.u64() != kDiskCacheFormatVersion) return reject();
+  if (r.str() != stage) return reject();
+  if (!(r.stageKey() == key)) return reject();
+  std::string payload = r.str();
+  const StageKey storedSum = r.stageKey();
+  if (!r.atEnd()) return reject();
+  if (!(storedSum == recordChecksum(stage, key, payload))) return reject();
+
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return payload;
+}
+
+void DiskCache::store(std::string_view stage, const StageKey& key,
+                      std::string_view payload) {
+  const auto failed = [this] {
+    storeFailures_.fetch_add(1, std::memory_order_relaxed);
+  };
+  try {
+    const std::string finalPath = recordPath(stage, key);
+    std::error_code ec;
+    fs::create_directories(fs::path(finalPath).parent_path(), ec);
+    if (ec) {
+      failed();
+      return;
+    }
+
+    // Unique per (process, attempt): concurrent writers in any number
+    // of processes and threads never collide on the tmp name, and the
+    // rename below is atomic on POSIX — readers see the old record or
+    // the new one, never a prefix.
+    static std::atomic<std::uint64_t> tmpSerial{0};
+    std::string tmpPath = finalPath;
+    tmpPath += '.';
+    tmpPath += std::to_string(static_cast<unsigned long long>(::getpid()));
+    tmpPath += '.';
+    tmpPath +=
+        std::to_string(tmpSerial.fetch_add(1, std::memory_order_relaxed));
+    tmpPath += ".tmp";
+
+    {
+      std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        failed();
+        return;
+      }
+      const std::string record = encodeRecord(stage, key, payload);
+      out.write(record.data(),
+                static_cast<std::streamsize>(record.size()));
+      out.flush();
+      if (!out) {
+        out.close();
+        std::remove(tmpPath.c_str());
+        failed();
+        return;
+      }
+    }
+    if (std::rename(tmpPath.c_str(), finalPath.c_str()) != 0) {
+      std::remove(tmpPath.c_str());
+      failed();
+      return;
+    }
+    stores_.fetch_add(1, std::memory_order_relaxed);
+  } catch (...) {
+    failed();
+  }
+}
+
+DiskCacheStats DiskCache::stats() const noexcept {
+  DiskCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.rejects = rejects_.load(std::memory_order_relaxed);
+  s.stores = stores_.load(std::memory_order_relaxed);
+  s.storeFailures = storeFailures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace argo::support

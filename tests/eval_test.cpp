@@ -7,8 +7,11 @@
 // fallbacks), and the JSON shape.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
+#include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "sched/bnb.h"
 #include "sched/policy.h"
@@ -17,6 +20,26 @@
 
 namespace argo {
 namespace {
+
+namespace fs = std::filesystem;
+
+/// RAII cache directory for the disk-tier differentials.
+struct TempCacheDir {
+  explicit TempCacheDir(const std::string& tag) {
+    std::string templ =
+        (fs::temp_directory_path() / ("argo_eval_" + tag + "_XXXXXX"))
+            .string();
+    if (mkdtemp(templ.data()) == nullptr) {
+      throw std::runtime_error("mkdtemp failed for " + templ);
+    }
+    path = templ;
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path, ec);
+  }
+  std::string path;
+};
 
 /// A batch small enough for test time but wide enough to cross several
 /// platform cases and both fallback paths.
@@ -127,6 +150,82 @@ TEST(EvalCacheDifferential, SharedCacheRerunIsByteIdenticalAndAllHits) {
   EXPECT_EQ(cold.schedules.misses, warm.schedules.misses);
   EXPECT_EQ(cold.transforms.misses, warm.transforms.misses);
   EXPECT_GT(warm.schedules.hits, cold.schedules.hits);
+}
+
+TEST(EvalDiskCacheDifferential, DiskWarmRerunMatchesCacheOffByteForByte) {
+  // The cross-process disk-tier oracle, in-process: every runEval call
+  // with a fresh (default) cache over the same --cache-dir models a
+  // fresh process — only the directory is shared. Cold populate, then
+  // warm reruns across both executors and thread counts, all compared
+  // byte for byte against an uncached reference.
+  scenarios::EvalOptions reference = smallBatch();
+  reference.scenarioCount = 3;
+  reference.sweepMode = scenarios::SweepMode::Cross;
+  reference.cacheEnabled = false;
+  reference.executor = scenarios::EvalExecutor::Barrier;
+  reference.threads = 1;
+  const std::string oracle = scenarios::runEval(reference).toJson();
+
+  TempCacheDir dir("diskwarm");
+  scenarios::EvalOptions cold = reference;
+  cold.cacheEnabled = true;
+  cold.cacheDir = dir.path;
+  cold.executor = scenarios::EvalExecutor::Graph;
+  cold.threads = 8;
+  const scenarios::EvalReport coldReport = scenarios::runEval(cold);
+  EXPECT_EQ(coldReport.toJson(), oracle);
+  ASSERT_TRUE(coldReport.cacheStats.has_value());
+  ASSERT_TRUE(coldReport.cacheStats->disk.has_value());
+  EXPECT_GT(coldReport.cacheStats->disk->stores, 0u);
+  EXPECT_EQ(coldReport.cacheStats->disk->rejects, 0u);
+
+  for (const scenarios::EvalExecutor executor :
+       {scenarios::EvalExecutor::Barrier, scenarios::EvalExecutor::Graph}) {
+    for (const int threads : {1, 8}) {
+      scenarios::EvalOptions warm = cold;
+      warm.executor = executor;
+      warm.threads = threads;
+      const scenarios::EvalReport report = scenarios::runEval(warm);
+      EXPECT_EQ(report.toJson(), oracle)
+          << "warm executor="
+          << (executor == scenarios::EvalExecutor::Barrier ? "barrier"
+                                                           : "graph")
+          << " threads=" << threads;
+      ASSERT_TRUE(report.cacheStats->disk.has_value());
+      EXPECT_GT(report.cacheStats->disk->hits, 0u);
+      EXPECT_EQ(report.cacheStats->disk->rejects, 0u);
+    }
+  }
+}
+
+TEST(EvalDiskCacheDifferential, ConcurrentWritersSharingOneDirectoryAgree) {
+  // Two cold batches racing into ONE cache directory (the two-evals-one-
+  // dir scenario of support/disk_cache.h): rename publication means both
+  // must still render the uncached reference byte for byte, with zero
+  // rejects — a torn record would show up as either.
+  scenarios::EvalOptions reference = smallBatch();
+  reference.scenarioCount = 4;
+  reference.cacheEnabled = false;
+  reference.threads = 1;
+  const std::string oracle = scenarios::runEval(reference).toJson();
+
+  TempCacheDir dir("diskrace");
+  scenarios::EvalOptions racing = reference;
+  racing.cacheEnabled = true;
+  racing.cacheDir = dir.path;
+  racing.threads = 4;
+
+  scenarios::EvalReport reportA, reportB;
+  std::thread ta([&] { reportA = scenarios::runEval(racing); });
+  std::thread tb([&] { reportB = scenarios::runEval(racing); });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(reportA.toJson(), oracle);
+  EXPECT_EQ(reportB.toJson(), oracle);
+  ASSERT_TRUE(reportA.cacheStats->disk.has_value());
+  ASSERT_TRUE(reportB.cacheStats->disk.has_value());
+  EXPECT_EQ(reportA.cacheStats->disk->rejects, 0u);
+  EXPECT_EQ(reportB.cacheStats->disk->rejects, 0u);
 }
 
 TEST(EvalCrossMode, FullMatrixScenarioMajorAndModuloDefault) {

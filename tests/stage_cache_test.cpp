@@ -18,6 +18,8 @@
 #include "adl/platform.h"
 #include "core/cache.h"
 #include "core/toolchain.h"
+#include "diamond_fixture.h"
+#include "ir/printer.h"
 #include "scenarios/generator.h"
 #include "support/hash.h"
 #include "support/stage_cache.h"
@@ -350,6 +352,32 @@ TEST(StageCacheToolchain, WarmRerunHitsEveryStage) {
   EXPECT_EQ(afterFirst.timings.misses, afterSecond.timings.misses);
   EXPECT_EQ(afterFirst.schedules.misses, afterSecond.schedules.misses);
   EXPECT_GT(afterSecond.schedules.hits, afterFirst.schedules.hits);
+}
+
+// ---- Cross-process key stability ----------------------------------------
+// The on-disk cache tier (support/disk_cache.h) shares records between
+// processes, machines and CI runs under these keys, so they must never
+// drift. These goldens pin the full derivation chain — the IR printer, the
+// hasher framing, the platform canonical text, every key function — for
+// the diamond fixture on the 4-core bus. An intentional change to any link
+// requires re-pinning AND bumping support::kDiskCacheFormatVersion (a
+// silent change would poison every shared cache directory).
+TEST(CacheKeys, DiamondFixtureKeysArePinnedAcrossProcesses) {
+  const std::unique_ptr<ir::Function> fn = test::makeDiamondFn();
+  const adl::Platform bus = adl::makeRecoreXentiumBus(4);
+
+  const StageKey transforms =
+      core::transformsKey(ir::toString(*fn), bus, true, true);
+  const StageKey expansion = core::expansionKey(transforms, 4, true);
+  const StageKey timings = core::timingsKey(expansion, bus);
+  const StageKey schedule =
+      core::scheduleKey(timings, bus, sched::SchedOptions{},
+                        syswcet::InterferenceMethod::MhpRefined);
+
+  EXPECT_EQ(transforms.text(), "b470cb8ff2a568bb321234bcd7fce99f");
+  EXPECT_EQ(expansion.text(), "2895e54d3f09391e4497aaa043b92dda");
+  EXPECT_EQ(timings.text(), "8b5263d026f0e20fec945e56d0f2bafd");
+  EXPECT_EQ(schedule.text(), "685867fb9e9e5b51a0dfb8b36ad7b50f");
 }
 
 TEST(StageCacheToolchain, WarmSharedStagesPrewarmsThePrefix) {

@@ -33,12 +33,22 @@
 //   --runtime-asserts   emit per-slot checks of the scheduled start/finish
 //                       cycles against a monotonic step-relative clock
 //                       (violation exits 4; see docs/CODEGEN.md)
+//   --cache-dir DIR     persist the toolchain stage cache on disk under
+//                       DIR (support/disk_cache.h): a rerun with the same
+//                       app/platform/options starts warm. Defaults to the
+//                       ARGO_CACHE_DIR environment variable; unset/empty
+//                       means no caching. Results are byte-identical with
+//                       or without it (every stage is a pure function of
+//                       its content-hash key); rejected (malformed)
+//                       records are recomputed and reported on stderr.
 //   --report LIST       comma list: summary,gantt,mhp,bottlenecks,code:TILE
 //                       (default summary)
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -46,6 +56,7 @@
 #include "adl/parser.h"
 #include "apps/registry.h"
 #include "codegen/codegen.h"
+#include "core/cache.h"
 #include "core/report.h"
 #include "core/toolchain.h"
 #include "sim/simulator.h"
@@ -70,6 +81,7 @@ struct Options {
   int emitSteps = 3;
   codegen::ExecMode execMode = codegen::ExecMode::Sequential;
   bool runtimeAsserts = false;
+  std::string cacheDir;
   std::vector<std::string> reports = {"summary"};
 };
 
@@ -82,7 +94,8 @@ struct Options {
                "          [--no-spm] [--no-transforms] [--simulate N]\n"
                "          [--emit-c DIR] [--emit-steps N]"
                " [--exec-mode seq|threads] [--runtime-asserts]\n"
-               "          [--report summary,gantt,mhp,bottlenecks,code:TILE]\n",
+               "          [--cache-dir DIR]"
+               " [--report summary,gantt,mhp,bottlenecks,code:TILE]\n",
                argv0);
   std::exit(2);
 }
@@ -117,8 +130,14 @@ Options parseArgs(int argc, char** argv) {
       }
     }
     else if (arg == "--runtime-asserts") options.runtimeAsserts = true;
+    else if (arg == "--cache-dir") options.cacheDir = value(i);
     else if (arg == "--report") options.reports = support::split(value(i), ',');
     else usage(argv[0]);
+  }
+  if (options.cacheDir.empty()) {
+    if (const char* env = std::getenv("ARGO_CACHE_DIR")) {
+      options.cacheDir = env;
+    }
   }
   return options;
 }
@@ -175,10 +194,28 @@ int main(int argc, char** argv) {
     if (options.chunks > 0) {
       toolchainOptions.chunkCandidates = {options.chunks};
     }
+    std::shared_ptr<core::ToolchainCache> cache;
+    if (!options.cacheDir.empty()) {
+      cache = std::make_shared<core::ToolchainCache>();
+      cache->attachDisk(options.cacheDir);
+      toolchainOptions.cache = cache;
+    }
 
     const core::Toolchain toolchain(platform, toolchainOptions);
     const core::ToolchainResult result =
         toolchain.run(apps::buildAppDiagram(options.app));
+
+    // Disk rejects are determinism-relevant (damaged or version-skewed
+    // records silently costing recomputes), so they are always surfaced.
+    if (cache != nullptr && cache->disk() != nullptr &&
+        cache->disk()->stats().rejects > 0) {
+      std::fprintf(stderr,
+                   "argo_cc: disk cache rejected %llu record(s) "
+                   "(recomputed; cache dir may be damaged or "
+                   "version-skewed)\n",
+                   static_cast<unsigned long long>(
+                       cache->disk()->stats().rejects));
+    }
 
     for (const std::string& report : options.reports) {
       if (report == "summary") {

@@ -31,6 +31,17 @@
 //                       byte-identical either way — the A/B pair is the
 //                       cache-differential oracle. Cache counters appear
 //                       in the JSON only together with --timings.
+//   --cache-dir DIR     persist the stage cache on disk under DIR
+//                       (support/disk_cache.h): a rerun in a fresh
+//                       process starts warm, and the report stays
+//                       byte-identical to --cache off. Defaults to the
+//                       ARGO_CACHE_DIR environment variable; unset/empty
+//                       means in-memory only. Ignored with --cache off.
+//                       Disk hit/miss/reject/store counters join the
+//                       cache_stats JSON under --timings; a nonzero
+//                       reject count (malformed records recomputed —
+//                       damage or version skew in DIR) is additionally
+//                       reported on stderr unconditionally.
 //   --policies a,b,..   registry names to compare   (default: all registered)
 //                       (accepts the argo_cc aliases bnb / oblivious;
 //                       unknown names are rejected up front with the
@@ -52,6 +63,7 @@
 // Exit code: 0 iff the batch ran and every simulator probe stayed within
 // its bound; 1 on a bound violation or a tool-chain error; 2 on usage.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -71,7 +83,7 @@ using namespace argo;
       stderr,
       "usage: %s [--seed N] [--scenarios N] [--threads N] [--policies a,b]\n"
       "          [--executor graph|barrier] [--sweep-mode modulo|cross]\n"
-      "          [--cache on|off]\n"
+      "          [--cache on|off] [--cache-dir DIR]\n"
       "          [--sim-trials N] [--layers MIN:MAX] [--width MIN:MAX]\n"
       "          [--array-len MIN:MAX] [--ccr X] [--spread X]\n"
       "          [--shape layered_dag|stencil_chain] [--stencil-radius N]\n"
@@ -164,6 +176,8 @@ int main(int argc, char** argv) {
           throw support::ToolchainError("unknown cache setting '" + name +
                                         "' (expected on or off)");
         }
+      } else if (arg == "--cache-dir") {
+        options.cacheDir = value(i);
       } else if (arg == "--sim-trials") {
         options.simTrials = std::stoi(value(i));
       } else if (arg == "--layers") {
@@ -217,6 +231,13 @@ int main(int argc, char** argv) {
     usage(argv[0]);
   }
 
+  // --cache-dir wins over the environment; both empty = no disk tier.
+  if (options.cacheDir.empty()) {
+    if (const char* env = std::getenv("ARGO_CACHE_DIR")) {
+      options.cacheDir = env;
+    }
+  }
+
   try {
     // Reject unknown policy names up front — before any generation or
     // tool-chain work — with the registered-set diagnostic (the same UX
@@ -225,6 +246,19 @@ int main(int argc, char** argv) {
       (void)sched::policyOrThrow(policy);
     }
     const scenarios::EvalReport report = scenarios::runEval(options);
+    // Disk rejects are determinism-relevant (a damaged or version-skewed
+    // cache directory silently costing recomputes), so they are surfaced
+    // here regardless of --timings — unlike every other cache counter.
+    if (report.cacheStats.has_value() &&
+        report.cacheStats->disk.has_value() &&
+        report.cacheStats->disk->rejects > 0) {
+      std::fprintf(stderr,
+                   "argo_eval: disk cache rejected %llu record(s) "
+                   "(recomputed; cache dir may be damaged or "
+                   "version-skewed)\n",
+                   static_cast<unsigned long long>(
+                       report.cacheStats->disk->rejects));
+    }
     const std::string json = report.toJson(timings);
     if (outFile.empty()) {
       std::printf("%s\n", json.c_str());

@@ -121,7 +121,21 @@ def diff(old, new, out=sys.stdout):
                    stats.get("inflight_waits", 0))
         return f"{stats.get('hits', 0) / lookups:.4f}" if lookups else "n/a"
 
+    def disk_line(stats):
+        if not stats:
+            return "n/a"
+        return (f"hits={stats.get('hits', 0)} "
+                f"rejects={stats.get('rejects', 0)} "
+                f"stores={stats.get('stores', 0)}")
+
     for stage in sorted(set(old_cache) | set(new_cache)):
+        if stage == "disk":
+            # PR 9+ schema: the on-disk tier's counters ride along inside
+            # cache_stats but have their own shape (no inflight_waits;
+            # a nonzero reject count is the health signal worth reading).
+            print(f"disk_cache: {disk_line(old_cache.get(stage))} -> "
+                  f"{disk_line(new_cache.get(stage))}", file=out)
+            continue
         print(f"cache_hit_rate[{stage}]: {hit_rate(old_cache.get(stage))} "
               f"-> {hit_rate(new_cache.get(stage))}", file=out)
 
@@ -157,6 +171,16 @@ def _cross_fixture(bound, tightness, wall):
     report["summary"]["cache_stats"] = {
         "transforms": {"hits": 30, "misses": 10, "inflight_waits": 0},
         "schedules": {"hits": 0, "misses": 40, "inflight_waits": 0},
+    }
+    return report
+
+
+def _disk_fixture(bound, tightness, wall):
+    """A PR 9+ report: cache_stats additionally carries the disk tier."""
+    report = _cross_fixture(bound, tightness, wall)
+    report["summary"]["cache_stats"]["disk"] = {
+        "hits": 40, "misses": 8, "rejects": 0, "stores": 8,
+        "store_failures": 0,
     }
     return report
 
@@ -197,6 +221,22 @@ def self_test():
     if "sweep_mode: cross -> modulo" not in out.getvalue():
         raise SystemExit("bench_diff --self-test: reverse-direction "
                          f"sweep_mode line missing in:\n{out.getvalue()}")
+
+    # PR 9+ schema: a disk-tier entry inside cache_stats must render its
+    # own counter line (not a bogus hit-rate row) and must not break a
+    # diff against an older report without one.
+    out = io.StringIO()
+    diff(_cross_fixture(1000, 0.8, 10.0), _disk_fixture(900, 0.85, 12.0),
+         out=out)
+    text = out.getvalue()
+    for needle in ("disk_cache: n/a -> hits=40 rejects=0 stores=8",
+                   "cache_hit_rate[transforms]"):
+        if needle not in text:
+            raise SystemExit(
+                f"bench_diff --self-test: missing {needle!r} in:\n{text}")
+    if "cache_hit_rate[disk]" in text:
+        raise SystemExit("bench_diff --self-test: disk tier leaked into "
+                         f"cache_hit_rate in:\n{text}")
     print("bench_diff self-test ok")
 
 
