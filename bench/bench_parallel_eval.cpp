@@ -12,7 +12,10 @@
 // populated cache — the argod content-addressed-service pattern, and the
 // headline speedup of the caching layer — and "disk_warm" re-runs with a
 // fresh in-memory cache filled entirely from an on-disk cache directory
-// (support/disk_cache.h), the cross-process warm start. Every row also verifies the
+// (support/disk_cache.h), the cross-process warm start. The
+// trace_overhead row re-runs the uncached cross sweep with the span
+// recorder (support/trace.h) off vs. on-and-exported — the cost of
+// leaving the observability instruments enabled. Every row also verifies the
 // rendered JSON reports are byte-identical across engines, thread counts,
 // and cache settings — the per-unit slots plus ladder-order assembly make
 // the batch independent of how units interleave, and the barrier and
@@ -29,6 +32,7 @@
 #include "common.h"
 #include "sched/policy.h"
 #include "scenarios/eval.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -173,6 +177,29 @@ int main(int argc, char** argv) {
       "cross6", "disk_warm", crossUnits, crossUncachedMs, diskWarmMs,
       diskWarm == crossUncached});
   std::filesystem::remove_all(cacheDir);
+
+  // cross6/trace_overhead: the same uncached cross sweep with the span
+  // recorder off (seq_ms) vs. recording and exporting a full trace to
+  // /dev/null (pooled_ms). "speedup" reads as off-over-on, so values
+  // near 1.0 mean the instruments are cheap enough to leave in release
+  // builds; "identical" checks the traced report against the untraced
+  // reference — tracing must stay strictly off the report path.
+  cross.cache.reset();
+  cross.cacheDir.clear();
+  cross.cacheEnabled = false;
+  double untracedMs = 0.0;
+  (void)timedEval(cross, untracedMs);  // warm-up parity with the traced run
+  (void)timedEval(cross, untracedMs);
+  argo::support::TraceRecorder::global().enable();
+  double tracedMs = 0.0;
+  const std::string traced = timedEval(cross, tracedMs);
+  if (!argo::support::TraceRecorder::global().writeFile("/dev/null")) {
+    throw std::runtime_error("trace export to /dev/null failed");
+  }
+  argo::support::TraceRecorder::global().reset();
+  report.addRow(argo::bench::ParallelBenchRow{
+      "cross6", "trace_overhead", crossUnits, untracedMs, tracedMs,
+      traced == crossUncached});
 
   return report.finish();
 }

@@ -51,6 +51,7 @@
 #include "support/disk_cache.h"
 #include "support/hash.h"
 #include "support/stage_cache.h"
+#include "support/trace.h"
 #include "syswcet/system_wcet.h"
 
 namespace argo::core {
@@ -226,20 +227,39 @@ class ToolchainCache {
                                       const support::StageKey& key,
                                       Compute&& compute, Encode&& encode,
                                       Decode&& decode) {
+    // One "cache" span per lookup, named by the stage's disk-directory
+    // spelling with the single-flight outcome attached — the per-lookup
+    // view whose per-stage totals equal the cache.<stage>.* counters of
+    // the `metrics` block (tools/trace_summary.py --metrics checks that).
+    support::TraceSpan span("cache", stage);
+    support::StageCacheOutcome outcome = support::StageCacheOutcome::Miss;
     support::DiskCache* const disk = disk_.get();
+    std::shared_ptr<const Value> value;
     if (disk == nullptr) {
-      return memory.getOrCompute(key, std::forward<Compute>(compute));
+      value = memory.getOrCompute(key, std::forward<Compute>(compute),
+                                  &outcome);
+    } else {
+      value = memory.getOrCompute(
+          key,
+          [&]() -> Value {
+            if (std::optional<std::string> payload = disk->load(stage, key)) {
+              std::optional<Value> decoded = decode(*payload);
+              if (decoded.has_value()) return std::move(*decoded);
+              disk->noteReject();
+              if (support::TraceRecorder::enabled()) {
+                support::TraceRecorder::global().recordInstant(
+                    "disk", "reject",
+                    {support::TraceArg{"stage", std::string(stage)}});
+              }
+            }
+            Value computed = compute();
+            disk->store(stage, key, encode(computed));
+            return computed;
+          },
+          &outcome);
     }
-    return memory.getOrCompute(key, [&]() -> Value {
-      if (std::optional<std::string> payload = disk->load(stage, key)) {
-        std::optional<Value> value = decode(*payload);
-        if (value.has_value()) return std::move(*value);
-        disk->noteReject();
-      }
-      Value value = compute();
-      disk->store(stage, key, encode(value));
-      return value;
-    });
+    span.arg("cache", support::stageCacheOutcomeName(outcome));
+    return value;
   }
 
   std::shared_ptr<support::DiskCache> disk_;

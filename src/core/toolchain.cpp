@@ -9,6 +9,7 @@
 #include "ir/printer.h"
 #include "support/parallel.h"
 #include "support/strings.h"
+#include "support/trace.h"
 #include "transform/const_fold.h"
 #include "transform/loop_transforms.h"
 #include "transform/spm_alloc.h"
@@ -23,6 +24,9 @@ class StageClock {
 
   template <typename Fn>
   auto time(const std::string& stage, Fn&& fn) {
+    // Same boundary, two sinks: wall-ms into the --timings stage table,
+    // and one "toolchain" span per stage into the trace recorder.
+    support::TraceSpan span("toolchain", stage);
     const auto begin = std::chrono::steady_clock::now();
     if constexpr (std::is_void_v<decltype(fn())>) {
       fn();

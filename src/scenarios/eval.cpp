@@ -8,12 +8,14 @@
 #include <optional>
 #include <utility>
 
+#include "core/metrics_report.h"
 #include "sched/policy.h"
 #include "sim/simulator.h"
 #include "support/diagnostics.h"
 #include "support/graph.h"
 #include "support/parallel.h"
 #include "support/rng.h"
+#include "support/trace.h"
 
 namespace argo::scenarios {
 
@@ -44,6 +46,13 @@ PolicyOutcome runToolchainStage(
     const std::string& policy, const EvalOptions& options,
     const std::shared_ptr<core::ToolchainCache>& cache,
     std::optional<core::ToolchainResult>& keep) {
+  // Per-unit span; the name is only materialized when tracing is on, so
+  // the disabled path stays allocation-free. The nested "toolchain" and
+  // "cache" spans carry the stage-level breakdown.
+  support::TraceSpan span(
+      "eval", support::TraceRecorder::enabled()
+                  ? "unit/" + scenario.name + "/" + policy
+                  : std::string());
   const auto begin = std::chrono::steady_clock::now();
 
   core::ToolchainOptions toolchainOptions = options.toolchain;
@@ -85,6 +94,12 @@ void runSimStage(const Scenario& scenario, const adl::Platform& platform,
   const core::ToolchainResult& result = *keep;
 
   if (options.simTrials > 0) {
+    // One span per simulator trial batch (all trials of one unit).
+    support::TraceSpan span(
+        "sim", support::TraceRecorder::enabled()
+                   ? scenario.name + "/" + outcome.policy
+                   : std::string());
+    if (span.active()) span.arg("trials", std::to_string(options.simTrials));
     const sim::Simulator simulator(result.program, platform);
     ir::Environment base = ir::makeZeroEnvironment(*result.fn);
     for (const auto& [name, value] : result.constants) base[name] = value;
@@ -473,7 +488,14 @@ std::string EvalReport::toJson(bool includeTimings) const {
     }
     out += "}";
   }
-  if (includeTimings) appendf(out, ",\"total_wall_ms\":%.3f", totalWallMs);
+  if (includeTimings) {
+    // The unified metrics namespace (docs/OBSERVABILITY.md): the process
+    // registry snapshot plus the cache/disk counters above re-spelled
+    // under the kDiskStage* names. Same opt-in gate as every other
+    // wall-clock-style field; cache_stats stays for schema continuity.
+    core::appendMetricsJson(out, cacheStats);
+    appendf(out, ",\"total_wall_ms\":%.3f", totalWallMs);
+  }
   out += "}}";
   return out;
 }

@@ -8,6 +8,8 @@
 
 #include <unistd.h>
 
+#include "support/trace.h"
+
 namespace argo::support {
 namespace {
 
@@ -75,6 +77,8 @@ std::string DiskCache::recordPath(std::string_view stage,
 
 std::optional<std::string> DiskCache::load(std::string_view stage,
                                            const StageKey& key) {
+  TraceSpan span("disk", "load");
+  if (span.active()) span.arg("stage", std::string(stage));
   std::optional<std::string> data;
   try {
     data = readFile(recordPath(stage, key));
@@ -83,14 +87,20 @@ std::optional<std::string> DiskCache::load(std::string_view stage,
   }
   if (!data) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    span.arg("disk", "miss");
     return std::nullopt;
   }
 
   // Validation ladder: size -> magic -> version -> stage -> key ->
   // payload frame -> checksum. Each rung rejects without touching
   // anything the later rungs would read.
-  const auto reject = [this]() -> std::optional<std::string> {
+  const auto reject = [&]() -> std::optional<std::string> {
     rejects_.fetch_add(1, std::memory_order_relaxed);
+    span.arg("disk", "reject");
+    if (TraceRecorder::enabled()) {
+      TraceRecorder::global().recordInstant(
+          "disk", "reject", {TraceArg{"stage", std::string(stage)}});
+    }
     return std::nullopt;
   };
   if (data->size() < sizeof(kMagic) ||
@@ -107,13 +117,17 @@ std::optional<std::string> DiskCache::load(std::string_view stage,
   if (!(storedSum == recordChecksum(stage, key, payload))) return reject();
 
   hits_.fetch_add(1, std::memory_order_relaxed);
+  span.arg("disk", "hit");
   return payload;
 }
 
 void DiskCache::store(std::string_view stage, const StageKey& key,
                       std::string_view payload) {
-  const auto failed = [this] {
+  TraceSpan span("disk", "store");
+  if (span.active()) span.arg("stage", std::string(stage));
+  const auto failed = [&] {
     storeFailures_.fetch_add(1, std::memory_order_relaxed);
+    span.arg("disk", "store_failure");
   };
   try {
     const std::string finalPath = recordPath(stage, key);

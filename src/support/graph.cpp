@@ -2,17 +2,43 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <mutex>
 #include <queue>
 
 #include "support/diagnostics.h"
+#include "support/metrics.h"
 #include "support/parallel.h"
 #include "support/thread_pool.h"
+#include "support/trace.h"
 
 namespace argo::support {
+
+namespace {
+
+MetricCounter& nodesRunCounter() {
+  static MetricCounter& counter =
+      MetricsRegistry::global().counter("graph.nodes_run");
+  return counter;
+}
+
+MetricCounter& nodesSkippedCounter() {
+  static MetricCounter& counter =
+      MetricsRegistry::global().counter("graph.nodes_skipped");
+  return counter;
+}
+
+MetricCounter& readyWaitCounter() {
+  static MetricCounter& counter =
+      MetricsRegistry::global().counter("graph.ready_wait_us");
+  return counter;
+}
+
+}  // namespace
 
 TaskGraph::NodeId TaskGraph::addNode(std::string name,
                                      std::function<void()> fn) {
@@ -150,7 +176,9 @@ void TaskGraph::runInline() {
     ready.pop();
     bool failed = false;
     if (!poisoned[id]) {
+      nodesRunCounter().add();
       detail::ParallelTaskScope scope;
+      TraceSpan span("graph", nodes_[id].name);
       try {
         nodes_[id].fn();
       } catch (...) {
@@ -162,6 +190,8 @@ void TaskGraph::runInline() {
         }
         failed = true;
       }
+    } else {
+      nodesSkippedCounter().add();
     }
     for (NodeId s : nodes_[id].successors) {
       if (failed || poisoned[id]) poisoned[s] = 1;
@@ -202,9 +232,19 @@ void TaskGraph::runPooled(unsigned resolved) {
       NodeId id;
       {
         std::unique_lock<std::mutex> lock(state.mutex);
-        state.wake.wait(lock, [&] {
+        const auto readyOrDone = [&] {
           return !state.ready.empty() || state.finished == n;
-        });
+        };
+        if (!readyOrDone()) {
+          // Ready-queue starvation, attributed: the time an executor
+          // spends blocked here is the graph's critical-path debt.
+          const auto waitBegin = std::chrono::steady_clock::now();
+          state.wake.wait(lock, readyOrDone);
+          readyWaitCounter().add(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - waitBegin)
+                  .count()));
+        }
         if (state.ready.empty()) return;  // all nodes accounted for
         id = state.ready.front();
         state.ready.pop_front();
@@ -213,13 +253,17 @@ void TaskGraph::runPooled(unsigned resolved) {
       const bool skip = poisoned[id].load(std::memory_order_relaxed);
       bool failed = false;
       if (!skip) {
+        nodesRunCounter().add();
         detail::ParallelTaskScope scope;
+        TraceSpan span("graph", nodes_[id].name);
         try {
           nodes_[id].fn();
         } catch (...) {
           errors[id] = std::current_exception();  // per-node slot
           failed = true;
         }
+      } else {
+        nodesSkippedCounter().add();
       }
 
       {

@@ -37,6 +37,25 @@
 
 namespace argo::support {
 
+/// How one getOrCompute call was served. Mirrors the StageCacheStats
+/// counters one-to-one; instruments (core::ToolchainCache's per-lookup
+/// trace spans) use it to attribute a single lookup without re-deriving
+/// it from counter deltas.
+enum class StageCacheOutcome : std::uint8_t { Hit, Miss, InflightWait };
+
+[[nodiscard]] constexpr const char* stageCacheOutcomeName(
+    StageCacheOutcome outcome) noexcept {
+  switch (outcome) {
+    case StageCacheOutcome::Hit:
+      return "hit";
+    case StageCacheOutcome::Miss:
+      return "miss";
+    case StageCacheOutcome::InflightWait:
+      return "inflight_wait";
+  }
+  return "unknown";
+}
+
 /// Lookup counters of one StageCache. hits + misses + inflightWaits is
 /// the deterministic total lookup count, but the split between hits and
 /// inflightWaits depends on thread timing — report the counters only in
@@ -55,10 +74,13 @@ template <typename Value>
 class StageCache {
  public:
   /// Returns the cached value for `key`, computing it via `compute()` if
-  /// absent. Exactly one concurrent caller per key runs `compute`.
+  /// absent. Exactly one concurrent caller per key runs `compute`. When
+  /// `outcome` is non-null it receives how this lookup was served (the
+  /// same classification the stats counters accumulate).
   template <typename Compute>
-  std::shared_ptr<const Value> getOrCompute(const StageKey& key,
-                                            Compute&& compute) {
+  std::shared_ptr<const Value> getOrCompute(
+      const StageKey& key, Compute&& compute,
+      StageCacheOutcome* outcome = nullptr) {
     std::shared_ptr<Entry> entry;
     bool owner = false;
     {
@@ -73,6 +95,7 @@ class StageCache {
 
     if (owner) {
       misses_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome != nullptr) *outcome = StageCacheOutcome::Miss;
       std::shared_ptr<const Value> value;
       try {
         value = std::make_shared<const Value>(compute());
@@ -99,9 +122,11 @@ class StageCache {
     std::unique_lock<std::mutex> lock(entry->m);
     if (entry->state == State::Ready) {
       hits_.fetch_add(1, std::memory_order_relaxed);
+      if (outcome != nullptr) *outcome = StageCacheOutcome::Hit;
       return entry->value;
     }
     inflightWaits_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome != nullptr) *outcome = StageCacheOutcome::InflightWait;
     entry->cv.wait(lock, [&] { return entry->state != State::Pending; });
     if (entry->state == State::Failed) {
       std::rethrow_exception(entry->error);

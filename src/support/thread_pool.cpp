@@ -3,7 +3,34 @@
 #include <atomic>
 #include <chrono>
 
+#include "support/metrics.h"
+#include "support/trace.h"
+
 namespace argo::support {
+
+namespace {
+
+// Registry lookups once per process; the instruments themselves are one
+// relaxed atomic op each (see support/metrics.h).
+MetricCounter& poolTasksCounter() {
+  static MetricCounter& counter =
+      MetricsRegistry::global().counter("pool.tasks");
+  return counter;
+}
+
+MetricCounter& poolStealsCounter() {
+  static MetricCounter& counter =
+      MetricsRegistry::global().counter("pool.steals");
+  return counter;
+}
+
+MetricGauge& poolQueueDepthPeak() {
+  static MetricGauge& gauge =
+      MetricsRegistry::global().gauge("pool.queue_depth_peak");
+  return gauge;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) {
@@ -36,10 +63,13 @@ void ThreadPool::enqueue(std::function<void()> task) {
     target = nextQueue_;
     nextQueue_ = (nextQueue_ + 1) % queues_.size();
   }
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mutex);
     queues_[target]->tasks.push_back(std::move(task));
+    depth = queues_[target]->tasks.size();
   }
+  poolQueueDepthPeak().noteMax(depth);
   wake_.notify_all();
 }
 
@@ -60,7 +90,14 @@ bool ThreadPool::tryRunOne(std::size_t self) {
         queues_[q]->tasks.pop_back();
       }
     }
-    task();
+    poolTasksCounter().add();
+    // A pop from any queue but the executor's own counts as a steal; the
+    // helping caller (self == count) has no queue, so all its pops do.
+    if (q != self) poolStealsCounter().add();
+    {
+      TraceSpan span("pool", q == self ? "task" : "task(steal)");
+      task();
+    }
     return true;
   }
   return false;

@@ -41,6 +41,12 @@
 //                       or without it (every stage is a pure function of
 //                       its content-hash key); rejected (malformed)
 //                       records are recomputed and reported on stderr.
+//   --trace FILE        record a Chrome trace-event JSON execution trace
+//                       to FILE (support/trace.h; Perfetto-loadable, or
+//                       summarize with tools/trace_summary.py). Defaults
+//                       to the ARGO_TRACE environment variable;
+//                       unset/empty disables tracing. Reports are
+//                       byte-identical with tracing on or off.
 //   --report LIST       comma list: summary,gantt,mhp,bottlenecks,code:TILE
 //                       (default summary)
 #include <cmath>
@@ -49,6 +55,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -57,11 +64,13 @@
 #include "apps/registry.h"
 #include "codegen/codegen.h"
 #include "core/cache.h"
+#include "core/metrics_report.h"
 #include "core/report.h"
 #include "core/toolchain.h"
 #include "sim/simulator.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -82,6 +91,7 @@ struct Options {
   codegen::ExecMode execMode = codegen::ExecMode::Sequential;
   bool runtimeAsserts = false;
   std::string cacheDir;
+  std::string traceFile;
   std::vector<std::string> reports = {"summary"};
 };
 
@@ -94,7 +104,7 @@ struct Options {
                "          [--no-spm] [--no-transforms] [--simulate N]\n"
                "          [--emit-c DIR] [--emit-steps N]"
                " [--exec-mode seq|threads] [--runtime-asserts]\n"
-               "          [--cache-dir DIR]"
+               "          [--cache-dir DIR] [--trace FILE]"
                " [--report summary,gantt,mhp,bottlenecks,code:TILE]\n",
                argv0);
   std::exit(2);
@@ -131,12 +141,18 @@ Options parseArgs(int argc, char** argv) {
     }
     else if (arg == "--runtime-asserts") options.runtimeAsserts = true;
     else if (arg == "--cache-dir") options.cacheDir = value(i);
+    else if (arg == "--trace") options.traceFile = value(i);
     else if (arg == "--report") options.reports = support::split(value(i), ',');
     else usage(argv[0]);
   }
   if (options.cacheDir.empty()) {
     if (const char* env = std::getenv("ARGO_CACHE_DIR")) {
       options.cacheDir = env;
+    }
+  }
+  if (options.traceFile.empty()) {
+    if (const char* env = std::getenv("ARGO_TRACE")) {
+      options.traceFile = env;
     }
   }
   return options;
@@ -183,6 +199,7 @@ std::string parsePolicy(const std::string& name) {
 int main(int argc, char** argv) {
   try {
     const Options options = parseArgs(argc, argv);
+    if (!options.traceFile.empty()) support::TraceRecorder::global().enable();
     const adl::Platform platform = makePlatform(options);
 
     core::ToolchainOptions toolchainOptions;
@@ -206,16 +223,12 @@ int main(int argc, char** argv) {
         toolchain.run(apps::buildAppDiagram(options.app));
 
     // Disk rejects are determinism-relevant (damaged or version-skewed
-    // records silently costing recomputes), so they are always surfaced.
-    if (cache != nullptr && cache->disk() != nullptr &&
-        cache->disk()->stats().rejects > 0) {
-      std::fprintf(stderr,
-                   "argo_cc: disk cache rejected %llu record(s) "
-                   "(recomputed; cache dir may be damaged or "
-                   "version-skewed)\n",
-                   static_cast<unsigned long long>(
-                       cache->disk()->stats().rejects));
-    }
+    // records silently costing recomputes), so they are always surfaced
+    // through the pinned shared warning (core/metrics_report.h).
+    core::warnDiskRejects(
+        "argo_cc", cache != nullptr
+                       ? std::optional<core::ToolchainCacheStats>(cache->stats())
+                       : std::nullopt);
 
     for (const std::string& report : options.reports) {
       if (report == "summary") {
@@ -259,6 +272,7 @@ int main(int argc, char** argv) {
                       : "exec-mode seq");
     }
 
+    int exitCode = 0;
     if (options.simulate > 0) {
       sim::Simulator simulator(result.program, platform);
       ir::Environment env = ir::makeZeroEnvironment(*result.fn);
@@ -275,9 +289,15 @@ int main(int argc, char** argv) {
                     static_cast<long long>(result.system.makespan),
                     safe ? "ok" : "BOUND VIOLATED");
       }
-      if (!allSafe) return 1;
+      if (!allSafe) exitCode = 1;
     }
-    return 0;
+    if (!options.traceFile.empty() &&
+        !support::TraceRecorder::global().writeFile(options.traceFile)) {
+      std::fprintf(stderr, "argo_cc: cannot write trace '%s'\n",
+                   options.traceFile.c_str());
+      return 1;
+    }
+    return exitCode;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "argo_cc: %s\n", error.what());
     return 1;

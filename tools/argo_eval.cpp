@@ -57,7 +57,19 @@
 //   --cores a,b,..      platform-sweep core counts             (default 2,4,8)
 //   --platforms a,b,..  subset of bus_rr,bus_tdma,noc          (default all)
 //   --spm a,b,..        SPM bytes to sweep        (default: platform default)
-//   --timings           include wall-clock fields in the JSON
+//   --timings           include wall-clock fields in the JSON (adds the
+//                       per-stage wall_ms fields, the cache_stats block,
+//                       and the unified `metrics` counter block — see
+//                       docs/OBSERVABILITY.md)
+//   --trace FILE        record a Chrome trace-event JSON execution trace
+//                       to FILE (support/trace.h): spans for pool tasks,
+//                       graph nodes, toolchain stages with cache
+//                       hit/miss attribution, disk cache I/O, per-unit
+//                       eval and simulator batches. Load in Perfetto or
+//                       summarize with tools/trace_summary.py. Defaults
+//                       to the ARGO_TRACE environment variable;
+//                       unset/empty disables tracing. The report bytes
+//                       are identical with tracing on or off.
 //   --out FILE          write the JSON to FILE instead of stdout
 //
 // Exit code: 0 iff the batch ran and every simulator probe stayed within
@@ -69,10 +81,12 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics_report.h"
 #include "scenarios/eval.h"
 #include "sched/policy.h"
 #include "support/diagnostics.h"
 #include "support/strings.h"
+#include "support/trace.h"
 
 namespace {
 
@@ -88,7 +102,7 @@ using namespace argo;
       "          [--array-len MIN:MAX] [--ccr X] [--spread X]\n"
       "          [--shape layered_dag|stencil_chain] [--stencil-radius N]\n"
       "          [--cores a,b] [--platforms bus_rr,bus_tdma,noc]\n"
-      "          [--spm a,b] [--timings] [--out FILE]\n",
+      "          [--spm a,b] [--timings] [--trace FILE] [--out FILE]\n",
       argv0);
   std::exit(2);
 }
@@ -122,6 +136,7 @@ int main(int argc, char** argv) {
   scenarios::EvalOptions options;
   bool timings = false;
   std::string outFile;
+  std::string traceFile;
 
   auto value = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage(argv[0]);
@@ -216,6 +231,8 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--timings") {
         timings = true;
+      } else if (arg == "--trace") {
+        traceFile = value(i);
       } else if (arg == "--out") {
         outFile = value(i);
       } else {
@@ -237,6 +254,13 @@ int main(int argc, char** argv) {
       options.cacheDir = env;
     }
   }
+  // Same precedence for the trace destination.
+  if (traceFile.empty()) {
+    if (const char* env = std::getenv("ARGO_TRACE")) {
+      traceFile = env;
+    }
+  }
+  if (!traceFile.empty()) support::TraceRecorder::global().enable();
 
   try {
     // Reject unknown policy names up front — before any generation or
@@ -246,19 +270,9 @@ int main(int argc, char** argv) {
       (void)sched::policyOrThrow(policy);
     }
     const scenarios::EvalReport report = scenarios::runEval(options);
-    // Disk rejects are determinism-relevant (a damaged or version-skewed
-    // cache directory silently costing recomputes), so they are surfaced
-    // here regardless of --timings — unlike every other cache counter.
-    if (report.cacheStats.has_value() &&
-        report.cacheStats->disk.has_value() &&
-        report.cacheStats->disk->rejects > 0) {
-      std::fprintf(stderr,
-                   "argo_eval: disk cache rejected %llu record(s) "
-                   "(recomputed; cache dir may be damaged or "
-                   "version-skewed)\n",
-                   static_cast<unsigned long long>(
-                       report.cacheStats->disk->rejects));
-    }
+    // The pinned disk-reject warning, shared with argo_cc (see
+    // core/metrics_report.h for why it bypasses --timings).
+    core::warnDiskRejects("argo_eval", report.cacheStats);
     const std::string json = report.toJson(timings);
     if (outFile.empty()) {
       std::printf("%s\n", json.c_str());
@@ -270,6 +284,12 @@ int main(int argc, char** argv) {
         return 1;
       }
       out << json << "\n";
+    }
+    if (!traceFile.empty() &&
+        !support::TraceRecorder::global().writeFile(traceFile)) {
+      std::fprintf(stderr, "argo_eval: cannot write trace '%s'\n",
+                   traceFile.c_str());
+      return 1;
     }
     return report.allSimSafe ? 0 : 1;
   } catch (const std::exception& error) {

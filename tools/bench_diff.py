@@ -139,6 +139,17 @@ def diff(old, new, out=sys.stdout):
         print(f"cache_hit_rate[{stage}]: {hit_rate(old_cache.get(stage))} "
               f"-> {hit_rate(new_cache.get(stage))}", file=out)
 
+    # Unified metrics block (PR 10+ schema, --timings only): the counter
+    # registry snapshot (docs/OBSERVABILITY.md). Informational — many
+    # counters are scheduling-dependent (steals, hit/wait splits), so
+    # only deterministic sums are comparable run to run.
+    old_metrics = old["summary"].get("metrics") or {}
+    new_metrics = new["summary"].get("metrics") or {}
+    for name in sorted(set(old_metrics) | set(new_metrics)):
+        print(f"metrics[{name}]: "
+              f"{fmt_delta(old_metrics.get(name), new_metrics.get(name), percent=False)}",
+              file=out)
+
 
 def _fixture(bound, tightness, wall):
     return {
@@ -181,6 +192,17 @@ def _disk_fixture(bound, tightness, wall):
     report["summary"]["cache_stats"]["disk"] = {
         "hits": 40, "misses": 8, "rejects": 0, "stores": 8,
         "store_failures": 0,
+    }
+    return report
+
+
+def _metrics_fixture(bound, tightness, wall):
+    """A PR 10+ report: the unified `metrics` counter block rides along."""
+    report = _disk_fixture(bound, tightness, wall)
+    report["summary"]["metrics"] = {
+        "pool.tasks": 64, "pool.steals": 3,
+        "cache.transforms.hits": 30, "cache.transforms.misses": 10,
+        "graph.nodes_run": 12,
     }
     return report
 
@@ -237,6 +259,29 @@ def self_test():
     if "cache_hit_rate[disk]" in text:
         raise SystemExit("bench_diff --self-test: disk tier leaked into "
                          f"cache_hit_rate in:\n{text}")
+    if "metrics[" in text:
+        raise SystemExit("bench_diff --self-test: metrics lines rendered "
+                         f"without a metrics block in:\n{text}")
+
+    # PR 10+ schema: the unified metrics block renders per-counter delta
+    # lines, tolerates the mixed case (older report without the block),
+    # and counters missing on one side degrade to n/a.
+    out = io.StringIO()
+    diff(_disk_fixture(1000, 0.8, 10.0), _metrics_fixture(900, 0.85, 12.0),
+         out=out)
+    text = out.getvalue()
+    for needle in ("metrics[pool.tasks]: n/a",
+                   "metrics[cache.transforms.hits]: n/a",
+                   "metrics[graph.nodes_run]: n/a"):
+        if needle not in text:
+            raise SystemExit(
+                f"bench_diff --self-test: missing {needle!r} in:\n{text}")
+    out = io.StringIO()
+    diff(_metrics_fixture(1000, 0.8, 10.0), _metrics_fixture(900, 0.85, 12.0),
+         out=out)
+    if "metrics[pool.tasks]: 64 -> 64" not in out.getvalue():
+        raise SystemExit("bench_diff --self-test: same-schema metrics delta "
+                         f"missing in:\n{out.getvalue()}")
     print("bench_diff self-test ok")
 
 
